@@ -1,0 +1,49 @@
+"""Reporting helpers shared by the benchmark harness.
+
+Benchmarks print the reproduced table/figure rows directly to the real
+stdout (bypassing pytest capture) so that ``pytest benchmarks/
+--benchmark-only | tee bench_output.txt`` records them, and mirror the
+same text into ``benchmarks/results/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: blocks emitted this session, printed by conftest.pytest_terminal_summary
+EMITTED: list[tuple[str, str]] = []
+
+#: scale factor applied to the paper's step counts: the paper runs 1000
+#: timesteps; modelled time is linear in steps, so shapes are unchanged.
+QUICK_STEPS = 8
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+
+def emit(name: str, lines: list[str]) -> None:
+    """Record a result block: saved to results/, queued for the terminal
+    summary (pytest's fd capture would swallow a direct print), and also
+    printed immediately when running outside pytest capture."""
+    text = "\n".join(lines)
+    EMITTED.append((name, text))
+    print(f"\n{text}\n", file=sys.__stdout__, flush=True)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as f:
+        f.write(text + "\n")
+
+
+def table(title: str, headers: list[str], rows: list[list], widths=None) -> list[str]:
+    """Format an aligned text table."""
+    cells = [[str(c) for c in r] for r in rows]
+    widths = widths or [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def fmt(row):
+        return "  ".join(s.rjust(w) for s, w in zip(row, widths))
+    lines = [f"== {title} ==", fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in cells)
+    return lines

@@ -1,0 +1,89 @@
+"""Ablation: resident vs copy-per-kernel GPU AMR (the paper's thesis).
+
+The paper's central claim (SI, SIII) is that earlier GPU AMR codes copy
+data between host and device around every kernel (Wang et al., GAMER,
+Uintah) and that keeping everything resident — touching the PCIe bus only
+for halos, tags and reductions — is what makes GPU AMR pay off.
+
+This bench runs the same simulation with the resident integrator and with
+the copy-per-kernel integrator and compares modelled runtime and PCIe
+traffic.
+"""
+
+import pytest
+
+from repro.app import RunConfig, run_simulation
+from repro.hydro.problems import SodProblem
+
+from _report import QUICK_STEPS, emit, table
+
+RES = 192
+
+
+def run_point(resident: bool):
+    cfg = RunConfig(
+        problem=SodProblem((RES, RES)),
+        machine="IPA",
+        nranks=1,
+        use_gpu=True,
+        resident=resident,
+        max_levels=2,
+        max_patch_size=RES,
+        max_steps=QUICK_STEPS,
+    )
+    return run_simulation(cfg)
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for resident in (True, False):
+        res = run_point(resident)
+        stats = res.sim.comm.rank(0).device.stats
+        out[resident] = {
+            "runtime": res.runtime,
+            "pcie_bytes": stats.bytes_d2h + stats.bytes_h2d,
+            "transfers": stats.transfers_d2h + stats.transfers_h2d,
+            "cells": res.cells,
+        }
+    return out
+
+
+def test_ablation_table(results, benchmark):
+    def render():
+        rows = []
+        for resident in (True, False):
+            r = results[resident]
+            rows.append([
+                "resident" if resident else "copy-per-kernel",
+                f"{r['runtime']:.4f}",
+                f"{r['pcie_bytes'] / 1e6:.1f}",
+                r["transfers"],
+            ])
+        return table(
+            f"Residency ablation (Sod {RES}x{RES}, 2 levels, "
+            f"{QUICK_STEPS} steps, 1 GPU, modelled)",
+            ["integrator", "runtime (s)", "PCIe MB", "PCIe transfers"],
+            rows,
+        )
+    lines = benchmark(render)
+    speed = results[False]["runtime"] / results[True]["runtime"]
+    traffic = results[False]["pcie_bytes"] / max(results[True]["pcie_bytes"], 1)
+    lines.append(f"resident speedup over copy-per-kernel : {speed:.2f}x")
+    lines.append(f"PCIe traffic ratio (copying/resident) : {traffic:.0f}x")
+    emit("ablation_resident", lines)
+
+
+def test_resident_is_faster(results):
+    assert results[True]["runtime"] < results[False]["runtime"]
+
+
+def test_resident_moves_orders_less_data(results):
+    assert results[False]["pcie_bytes"] > 20 * results[True]["pcie_bytes"]
+
+
+def test_resident_traffic_is_small_vs_field_data(results):
+    """Resident PCIe traffic per step is a sliver of the field footprint."""
+    field_bytes = results[True]["cells"] * 8 * 18  # 18 fields
+    per_step = results[True]["pcie_bytes"] / QUICK_STEPS
+    assert per_step < 0.05 * field_bytes

@@ -1,0 +1,98 @@
+"""Figure 10: strong scaling on IPA — 1 to 8 nodes, GPU vs CPU codes.
+
+The paper runs the 6.4M-zone Sod problem for 1000 steps on 1-8 IPA nodes
+(2 GPUs/node, so 2-16 GPUs vs 16-128 cores) and finds the GPU code 4.87x
+faster on one node, dropping to 1.92x on eight as boundary exchanges and
+regridding (the serial fraction, Amdahl) start to dominate the shrinking
+per-GPU work.
+
+Reproduction at reduced size: fixed Sod problem, ranks = GPUs = 2x nodes
+for the GPU code and ranks = nodes for the CPU code (one rank drives a
+full 16-core node).  Expected shape: both codes speed up with nodes; the
+GPU advantage is largest at 1 node and decays with node count.
+"""
+
+import pytest
+
+from repro.app import RunConfig, run_simulation
+from repro.hydro.problems import SodProblem
+
+from _report import FULL, QUICK_STEPS, emit, table
+
+NODES = [1, 2, 4, 8]
+RES = 2048 if FULL else 1024
+
+
+def run_point(nodes: int, use_gpu: bool):
+    cfg = RunConfig(
+        problem=SodProblem((RES, RES)),
+        machine="IPA",
+        nranks=2 * nodes if use_gpu else nodes,
+        use_gpu=use_gpu,
+        max_levels=3,
+        # Fixed decomposition: the same patches at every node count (the
+        # paper distributes an unchanged hierarchy over more processes).
+        max_patch_size=RES // 4,
+        max_steps=QUICK_STEPS,
+    )
+    return run_simulation(cfg)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []
+    for nodes in NODES:
+        gpu = run_point(nodes, True)
+        cpu = run_point(nodes, False)
+        rows.append({
+            "nodes": nodes,
+            "gpus": 2 * nodes,
+            "cores": 16 * nodes,
+            "gpu": gpu.runtime,
+            "cpu": cpu.runtime,
+            "speedup": cpu.runtime / gpu.runtime,
+        })
+    return rows
+
+
+def test_fig10_table(sweep, benchmark):
+    def render():
+        return table(
+            f"Figure 10: strong scaling (Sod {RES}x{RES} coarse, 3 levels, "
+            f"{QUICK_STEPS} steps, modelled time)",
+            ["nodes", "GPUs", "cores", "K20x (s)", "E5-2670 (s)", "GPU speedup"],
+            [[r["nodes"], r["gpus"], r["cores"], f"{r['gpu']:.4f}",
+              f"{r['cpu']:.4f}", f"{r['speedup']:.2f}x"] for r in sweep],
+        )
+    lines = benchmark(render)
+    lines.append(f"1-node GPU speedup : {sweep[0]['speedup']:.2f}x (paper: 4.87x)")
+    lines.append(f"8-node GPU speedup : {sweep[-1]['speedup']:.2f}x (paper: 1.92x)")
+    emit("fig10_strong", lines)
+
+
+def test_gpu_wins_at_one_node(sweep):
+    """2 GPUs beat the 16-core node on the full-size problem
+    (paper: 4.87x; reduced problem size lowers the factor)."""
+    assert sweep[0]["speedup"] > 1.5
+
+
+def test_gpu_advantage_decays_with_nodes(sweep):
+    """Amdahl: the exchange/regrid serial fraction erodes the GPU lead
+    as per-GPU work shrinks (paper: 4.87x -> 1.92x; at our ~6x smaller
+    problem the decay reaches parity around 8 nodes)."""
+    assert sweep[-1]["speedup"] < 0.75 * sweep[0]["speedup"]
+
+
+def test_both_codes_strong_scale(sweep):
+    """Adding nodes reduces runtime for both codes over the sweep."""
+    assert sweep[-1]["gpu"] < sweep[0]["gpu"]
+    assert sweep[-1]["cpu"] < sweep[0]["cpu"]
+
+
+def test_cpu_scales_better_relatively(sweep):
+    """The CPU code keeps a larger parallel fraction (its per-kernel
+    overheads are smaller), so its strong-scaling efficiency is higher —
+    the mechanism behind the paper's shrinking speedup."""
+    gpu_eff = sweep[0]["gpu"] / (sweep[-1]["gpu"] * NODES[-1])
+    cpu_eff = sweep[0]["cpu"] / (sweep[-1]["cpu"] * NODES[-1])
+    assert cpu_eff > gpu_eff

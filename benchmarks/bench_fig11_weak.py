@@ -1,0 +1,150 @@
+"""Figure 11: weak scaling on Titan — grind time vs node count.
+
+The paper weak-scales the triple-point shock interaction from 1 to 4,096
+Titan nodes (one K20x per node), with effective resolutions from 2M to
+over 8 billion cells, and plots grind time (seconds per cell) for the
+total and for its components: hydrodynamics (kernels + halo exchanges),
+synchronisation (fine-to-coarse), and regridding.  Findings (SV-B):
+
+* every component rises slowly with node count, but the code runs at
+  4,096 nodes;
+* hydrodynamics dominates everywhere;
+* in-text fractions: 1 node — 59% advancing, <1% timestep, 1% sync;
+  4,096 nodes — 44% advancing, 6% timestep, 3% sync.
+
+Reproduction: the same problem with a reduced constant per-node coarse
+block.  Node counts to 64 by default, 1,024 with REPRO_FULL=1.
+"""
+
+import math
+
+import pytest
+
+from repro.app import RunConfig, run_simulation
+from repro.hydro.problems import TriplePointProblem
+
+from _report import FULL, emit, table
+
+# REPRO_FULL extends to 256 and 1,024 nodes (~1.4M and ~5.5M coarse
+# cells; tens of minutes of wall time in pure Python).  The paper's full
+# 4,096 nodes would be a 22M-cell mesh — the model scales, the laptop
+# does not.
+NODES = [1, 4, 16, 64] + ([256, 1024] if FULL else [])
+#: per-node coarse block; nodes are arranged along x only, so that both
+#: the coarse block AND the refinement front (whose dominant component is
+#: the horizontal y=1.5 interface, O(nx) cells) contribute a constant
+#: number of cells per node — the paper itself notes that "keeping the
+#: computational work per-GPU the same is difficult" for AMR weak scaling
+BLOCK = (56, 96)
+STEPS = 6
+
+
+def node_grid(nodes: int) -> tuple[int, int]:
+    """1-D arrangement along x: per-node work stays constant (see BLOCK)."""
+    return (nodes, 1)
+
+
+def run_point(nodes: int):
+    sx, sy = node_grid(nodes)
+    res = (BLOCK[0] * sx, BLOCK[1] * sy)
+    cfg = RunConfig(
+        problem=TriplePointProblem(res),
+        machine="Titan",
+        nranks=nodes,
+        use_gpu=True,
+        max_levels=3,
+        max_patch_size=48,
+        regrid_interval=3,
+        max_steps=STEPS,
+    )
+    return run_simulation(cfg)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []
+    for nodes in NODES:
+        res = run_point(nodes)
+        # Grind normalised per *node-local* cells (the paper's absolute
+        # values, ~1e-6 s/cell with ~2M cells/GPU, imply this
+        # normalisation: runtime / (steps x cells-per-GPU)).
+        advanced = (res.cells / nodes) * res.steps
+        t = res.timers
+        total = sum(t.get(k, 0.0) for k in ("hydro", "timestep", "sync", "regrid"))
+        rows.append({
+            "nodes": nodes,
+            "cells": res.cells,
+            "grind_total": total / advanced,
+            "grind_hydro": t.get("hydro", 0.0) / advanced,
+            "grind_sync": t.get("sync", 0.0) / advanced,
+            "grind_regrid": t.get("regrid", 0.0) / advanced,
+            "grind_dt": t.get("timestep", 0.0) / advanced,
+            "frac_hydro": t.get("hydro", 0.0) / total,
+            "frac_dt": t.get("timestep", 0.0) / total,
+            "frac_sync": t.get("sync", 0.0) / total,
+        })
+    return rows
+
+
+def test_fig11_table(sweep, benchmark):
+    def render():
+        return table(
+            f"Figure 11: weak scaling on Titan (triple point, 3 levels, "
+            f"{STEPS} steps, grind time s per cell per GPU, modelled)",
+            ["nodes", "cells", "total", "hydro", "sync", "regrid"],
+            [[r["nodes"], r["cells"], f"{r['grind_total']:.3e}",
+              f"{r['grind_hydro']:.3e}", f"{r['grind_sync']:.3e}",
+              f"{r['grind_regrid']:.3e}"] for r in sweep],
+        )
+    lines = benchmark(render)
+    first, last = sweep[0], sweep[-1]
+    lines.append("")
+    lines.append("runtime fractions (paper SV-B in-text):")
+    lines.append(
+        f"  {first['nodes']:5d} nodes: advance {first['frac_hydro']:.0%} "
+        f"(paper 59%), timestep {first['frac_dt']:.1%} (paper <1%), "
+        f"sync {first['frac_sync']:.1%} (paper 1%)")
+    lines.append(
+        f"  {last['nodes']:5d} nodes: advance {last['frac_hydro']:.0%} "
+        f"(paper 44%), timestep {last['frac_dt']:.1%} (paper 6%), "
+        f"sync {last['frac_sync']:.1%} (paper 3%)")
+    emit("fig11_weak", lines)
+
+
+def test_hydro_dominates_everywhere(sweep):
+    """The paper's headline: AMR-specific costs are a small fraction."""
+    for r in sweep:
+        assert r["grind_hydro"] > r["grind_sync"]
+        assert r["grind_hydro"] > r["grind_regrid"]
+
+
+def test_components_grow_slowly(sweep):
+    """Grind time rises gradually with node count but stays the same
+    order — the code scales to the largest configuration (paper: every
+    component 'gradually increases as more nodes are added')."""
+    first, last = sweep[0], sweep[-1]
+    assert last["grind_total"] >= first["grind_total"] * 0.7
+    assert last["grind_total"] < first["grind_total"] * 30
+
+
+def test_timestep_absolute_cost_grows_with_nodes(sweep):
+    """The global dt reduction (the only global collective) costs more
+    per step at scale (paper: <1% -> 6% of runtime).  At this reduced
+    scale the log(P) collective term grows while per-node work is fixed;
+    the *fraction* only becomes prominent at the full 4,096-node sweep."""
+    first, last = sweep[0], sweep[-1]
+    assert last["grind_dt"] * 1.05 >= first["grind_dt"]
+
+
+def test_sync_fraction_stays_small(sweep):
+    """Fine-to-coarse synchronisation stays a small fraction (~1-3% in
+    the paper) at every node count."""
+    for r in sweep:
+        assert r["frac_sync"] < 0.10
+
+
+def test_advance_fraction_dominant_but_bounded(sweep):
+    """Hydro stays the dominant share at every scale (44-59% in the
+    paper; reduced-scale runs land in a similar band)."""
+    for r in sweep:
+        assert 0.3 < r["frac_hydro"] < 0.95

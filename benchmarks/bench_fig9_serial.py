@@ -1,0 +1,95 @@
+"""Figure 9: serial performance — one K20x vs one 16-core E5-2670 node.
+
+The paper runs the Sod problem for 1000 timesteps at coarse resolutions
+from 3,125 to 6.4M zones (3 levels, ratio 2) and reports runtime for the
+GPU and CPU codes: the GPU is ~1.6x *slower* below 200k zones and up to
+2.67x faster at the largest size.
+
+This reproduction sweeps the same problem at reduced sizes and steps
+(modelled time is linear in steps) and reports the same series.  The
+expected shape: speedup < 1 at small sizes (kernel-launch overheads
+dominate) rising towards the ~2.7x bandwidth ratio at large sizes.
+"""
+
+import pytest
+
+from repro.app import RunConfig, run_simulation
+from repro.hydro.problems import SodProblem
+
+from _report import FULL, QUICK_STEPS, emit, table
+
+RESOLUTIONS = [25, 50, 100, 200, 400, 640] + ([1024] if FULL else [])
+
+
+def run_point(res: int, use_gpu: bool):
+    cfg = RunConfig(
+        problem=SodProblem((res, res)),
+        machine="IPA",
+        nranks=1,
+        use_gpu=use_gpu,
+        max_levels=3,
+        max_patch_size=max(64, res),
+        max_steps=QUICK_STEPS,
+    )
+    return run_simulation(cfg)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []
+    for res in RESOLUTIONS:
+        gpu = run_point(res, True)
+        cpu = run_point(res, False)
+        rows.append({
+            "zones": res * res,
+            "cells": gpu.cells,
+            "gpu": gpu.runtime,
+            "cpu": cpu.runtime,
+            "speedup": cpu.runtime / gpu.runtime,
+        })
+    return rows
+
+
+def test_fig9_table(sweep, benchmark):
+    def render():
+        return table(
+            "Figure 9: serial performance (Sod, 3 levels, ratio 2, "
+            f"{QUICK_STEPS} steps, modelled time)",
+            ["coarse zones", "total cells", "K20x (s)", "E5-2670 (s)", "GPU speedup"],
+            [[r["zones"], r["cells"], f"{r['gpu']:.4f}", f"{r['cpu']:.4f}",
+              f"{r['speedup']:.2f}x"] for r in sweep],
+        )
+    lines = benchmark(render)
+    small = [r for r in sweep if r["zones"] < 50_000]
+    large = [r for r in sweep if r["zones"] >= 100_000]
+    avg_small = sum(r["speedup"] for r in small) / len(small)
+    lines.append(f"mean speedup below 50k zones : {avg_small:.2f}x "
+                 "(paper: 0.63x, i.e. GPU 1.6x slower below 200k)")
+    lines.append(f"best speedup at large sizes  : "
+                 f"{max(r['speedup'] for r in large):.2f}x (paper: 2.67x)")
+    emit("fig9_serial", lines)
+
+
+def test_gpu_slower_at_small_sizes(sweep):
+    """Left side of Fig. 9: overheads make the GPU lose on small meshes."""
+    assert sweep[0]["speedup"] < 1.0
+
+
+def test_gpu_faster_at_large_sizes(sweep):
+    """Right side of Fig. 9: the GPU wins once the mesh amortises launch
+    overheads (paper: up to 2.67x)."""
+    assert sweep[-1]["speedup"] > 1.2
+
+
+def test_speedup_monotone_towards_crossover(sweep):
+    """Speedup grows with problem size across the sweep."""
+    s = [r["speedup"] for r in sweep]
+    assert all(b >= a * 0.95 for a, b in zip(s, s[1:]))  # allow tiny noise
+    assert s[-1] > s[0]
+
+
+def test_runtime_scales_with_cells(sweep):
+    """Large-problem runtime is roughly linear in the cell count."""
+    a, b = sweep[-2], sweep[-1]
+    ratio = (b["gpu"] / a["gpu"]) / (b["cells"] / a["cells"])
+    assert 0.5 < ratio < 2.0

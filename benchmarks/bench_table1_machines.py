@@ -1,0 +1,43 @@
+"""Table I: hardware and software configuration of IPA and Titan.
+
+Prints the machine models the cost accounting runs on — the reproduction's
+equivalent of the paper's platform table — and checks the modelled numbers
+that the other benchmarks depend on (bandwidth ratios, PCIe, interconnect).
+"""
+
+import pytest
+
+from repro.perf.machines import GEMINI, FDR_INFINIBAND, IPA, TITAN
+
+from _report import emit, table
+
+
+def render_table1():
+    rows = []
+    keys = [k for k, _ in IPA.table_rows()]
+    ipa = dict(IPA.table_rows())
+    titan = dict(TITAN.table_rows())
+    for k in keys:
+        rows.append([k, ipa[k], titan[k]])
+    return table("Table I: IPA and Titan configurations", ["", "IPA", "Titan"], rows)
+
+
+def test_table1_print(benchmark):
+    lines = benchmark(render_table1)
+    emit("table1_machines", lines)
+    assert any("Titan" in ln for ln in lines)
+
+
+def test_modelled_bandwidth_ratio_matches_paper_speedup():
+    """K20x : E5-2670-node effective bandwidth ~ the paper's 2.67x
+    large-problem speedup (hydro is bandwidth-bound)."""
+    ratio = IPA.gpu.dram_bandwidth / IPA.cpu.dram_bandwidth
+    assert 2.4 < ratio < 2.9
+
+
+def test_platform_invariants():
+    assert IPA.gpus_per_node == 2 and TITAN.gpus_per_node == 1
+    assert TITAN.nodes == 18688
+    assert IPA.interconnect is FDR_INFINIBAND
+    assert TITAN.interconnect is GEMINI
+    assert IPA.gpu.memory_bytes == 6 * 1024**3

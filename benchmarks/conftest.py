@@ -1,0 +1,23 @@
+"""Benchmark-session plumbing: print every reproduced table at the end.
+
+pytest captures file descriptors while tests run, so the benches hand
+their result blocks to :mod:`_report`, and this hook prints them through
+the terminal reporter once the session summary is written — which is what
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` records.
+"""
+
+import _report
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _report.EMITTED:
+        return
+    terminalreporter.section("reproduced paper artefacts")
+    for name, text in _report.EMITTED:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(text)
+    terminalreporter.write_line("")
+    terminalreporter.write_line(
+        f"(also saved under benchmarks/results/: "
+        f"{', '.join(name for name, _ in _report.EMITTED)})"
+    )

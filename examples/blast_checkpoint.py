@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Blast wave with checkpoint/restart and VisIt output.
+
+Demonstrates the operational features a production AMR code needs beyond
+the numerics: run half the simulation, write a checkpoint and a VTK dump,
+then restore into a *fresh* simulation object and finish — verifying the
+resumed run is bit-identical to an uninterrupted one.
+
+Run:  python examples/blast_checkpoint.py
+"""
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro import (
+    CudaDataFactory,
+    LagrangianEulerianIntegrator,
+    SimulationConfig,
+    field_summary,
+    gather_level_field,
+    make_communicator,
+)
+from repro.hydro.problems import BlastProblem
+from repro.util.restart import checkpoint, load_npz, restore, save_npz
+from repro.util.visit import write_hierarchy
+
+STEPS_TOTAL = 16
+STEPS_FIRST = 8
+
+
+def make_sim():
+    comm = make_communicator("IPA", nranks=2, gpus=True)
+    sim = LagrangianEulerianIntegrator(
+        BlastProblem((64, 64)),
+        comm,
+        CudaDataFactory(),
+        SimulationConfig(max_levels=2, max_patch_size=32),
+    )
+    sim.initialise()
+    return sim
+
+
+def main() -> None:
+    workdir = tempfile.mkdtemp(prefix="repro_blast_")
+
+    # Reference: straight through.
+    reference = make_sim()
+    reference.run(max_steps=STEPS_TOTAL)
+
+    # First half, then checkpoint.
+    sim = make_sim()
+    sim.run(max_steps=STEPS_FIRST)
+    ckpt_path = os.path.join(workdir, "blast.npz")
+    save_npz(checkpoint(sim), ckpt_path)
+    vtk_index = write_hierarchy(sim, workdir, dump_name="halfway")
+    print(f"after {sim.step_count} steps (t = {sim.time:.4f}):")
+    print(f"  checkpoint : {ckpt_path} "
+          f"({os.path.getsize(ckpt_path) / 1e3:.0f} kB)")
+    print(f"  VTK dump   : {vtk_index} "
+          f"({sum(len(l) for l in sim.hierarchy)} patch files)")
+
+    # Resume in a brand-new simulation (fresh GPUs, fresh clocks).
+    resumed = make_sim()
+    restore(resumed, load_npz(ckpt_path))
+    print(f"\nrestored into a fresh simulation at t = {resumed.time:.4f}, "
+          f"{resumed.total_cells()} cells")
+    resumed.run(max_steps=STEPS_TOTAL)
+
+    a = gather_level_field(reference.hierarchy.level(0), "density0")
+    b = gather_level_field(resumed.hierarchy.level(0), "density0")
+    assert np.array_equal(a, b), "resumed run diverged!"
+    print(f"resumed run matches the uninterrupted run bit-for-bit "
+          f"at t = {resumed.time:.4f}.")
+
+    s = field_summary(resumed.hierarchy)
+    print(f"\nfinal state: mass = {s['mass']:.6f}, "
+          f"ie = {s['ie']:.6f}, ke = {s['ke']:.6f}")
+    print(f"refined cells track the expanding shock front: "
+          f"{resumed.hierarchy.level(1).total_cells()} fine cells")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: a GPU-resident AMR shock-tube simulation in ~20 lines.
+
+Builds a two-rank "IPA node" (two simulated K20x GPUs), runs the Sod
+problem with 3 levels of refinement, and prints the hierarchy, conserved
+quantities, the runtime breakdown, and the PCIe traffic that proves the
+data stayed resident on the GPUs.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CudaDataFactory,
+    LagrangianEulerianIntegrator,
+    SimulationConfig,
+    SodProblem,
+    field_summary,
+    make_communicator,
+)
+
+
+def main() -> None:
+    comm = make_communicator("IPA", nranks=2, gpus=True)
+    sim = LagrangianEulerianIntegrator(
+        SodProblem((128, 128)),
+        comm,
+        CudaDataFactory(),
+        SimulationConfig(max_levels=3, max_patch_size=64),
+    )
+
+    sim.initialise()
+    print("Initial hierarchy:")
+    for level in sim.hierarchy:
+        print(f"  level {level.level_number}: {len(level):3d} patches, "
+              f"{level.total_cells():7d} cells, dx = {level.dx[0]:.4f}")
+
+    before = field_summary(sim.hierarchy)
+    sim.run(max_steps=20)
+    after = field_summary(sim.hierarchy)
+
+    print(f"\nAdvanced {sim.step_count} steps to t = {sim.time:.4f} "
+          f"(modelled wall time {sim.elapsed():.4f}s on 2 K20x)")
+    print(f"  mass:   {before['mass']:.6f} -> {after['mass']:.6f}")
+    print(f"  energy: {before['ie'] + before['ke']:.6f} -> "
+          f"{after['ie'] + after['ke']:.6f} (ie + ke)")
+
+    print("\nRuntime breakdown (slowest rank):")
+    for name, seconds in sorted(sim.timer_summary().items()):
+        print(f"  {name:9s} {seconds:.4f}s")
+
+    dev = comm.rank(0).device
+    resident_bytes = dev.bytes_allocated
+    moved = dev.stats.bytes_d2h + dev.stats.bytes_h2d
+    print(f"\nResidency: {resident_bytes / 1e6:.1f} MB lives on GPU 0; "
+          f"only {moved / 1e6:.1f} MB ever crossed the PCIe bus "
+          f"({dev.stats.kernel_launches} kernel launches).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Mini weak-scaling study on simulated Titan nodes (paper Fig. 11 style).
+
+Holds per-node work constant while growing the triple-point problem with
+the node count, and prints grind time per cell per GPU broken into the
+paper's categories.  A smaller, faster version of
+``benchmarks/bench_fig11_weak.py`` driven purely through the public API.
+
+Run:  python examples/weak_scaling.py
+"""
+
+from repro.app import RunConfig, run_simulation
+from repro.hydro.problems import TriplePointProblem
+
+NODES = [1, 2, 4, 8]
+BLOCK = (28, 48)   # coarse cells per node (nodes tile along x)
+STEPS = 5
+
+
+def main() -> None:
+    print(f"{'nodes':>5} {'cells':>8} {'grind total':>12} {'hydro':>10} "
+          f"{'sync':>10} {'regrid':>10}")
+    for nodes in NODES:
+        cfg = RunConfig(
+            problem=TriplePointProblem((BLOCK[0] * nodes, BLOCK[1])),
+            machine="Titan",
+            nranks=nodes,
+            use_gpu=True,
+            max_levels=2,
+            max_patch_size=28,
+            regrid_interval=3,
+            max_steps=STEPS,
+        )
+        res = run_simulation(cfg)
+        per_gpu_cells = res.cells / nodes
+        advanced = per_gpu_cells * res.steps
+        t = res.timers
+        total = sum(t.get(k, 0.0) for k in ("hydro", "timestep", "sync", "regrid"))
+        print(f"{nodes:5d} {res.cells:8d} {total / advanced:12.3e} "
+              f"{t.get('hydro', 0) / advanced:10.3e} "
+              f"{t.get('sync', 0) / advanced:10.3e} "
+              f"{t.get('regrid', 0) / advanced:10.3e}")
+    print("\nEach row adds nodes while per-node work stays constant; the "
+          "gentle rise of every\ncomponent with node count is the paper's "
+          "Fig. 11 finding — hydrodynamics dominates,\nAMR bookkeeping "
+          "stays a small fraction.")
+
+
+if __name__ == "__main__":
+    main()

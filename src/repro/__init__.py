@@ -1,0 +1,77 @@
+"""repro: a reproduction of "Resident Block-Structured Adaptive Mesh
+Refinement on Thousands of Graphics Processing Units" (Beckingsale et al.,
+ICPP 2015).
+
+The package provides a SAMRAI-style block-structured AMR framework, a
+GPU-resident patch-data library over a simulated CUDA runtime, data-
+parallel coarsen/refine operators, a simulated MPI layer with virtual-time
+accounting, and the CleverLeaf shock-hydrodynamics mini-application built
+on top of all of it.
+
+Quick start::
+
+    from repro import (SodProblem, LagrangianEulerianIntegrator,
+                       SimulationConfig, make_communicator, CudaDataFactory)
+
+    comm = make_communicator("IPA", nranks=1, gpus=True)
+    sim = LagrangianEulerianIntegrator(
+        SodProblem((64, 64)), comm, CudaDataFactory(), SimulationConfig())
+    sim.initialise()
+    sim.run(max_steps=20)
+"""
+
+from .comm.simcomm import Message, Rank, SimCommunicator
+from .gpu.device import Device, DeviceSpec, K20X
+from .gpu.errors import DeviceOutOfMemory, GpuError, MemorySpaceError
+from .gpu.memory import DeviceArray
+from .hydro.diagnostics import field_summary, gather_level_field
+from .hydro.integrator import (
+    LagrangianEulerianIntegrator,
+    SimulationConfig,
+    SimulationError,
+)
+from .hydro.patch_integrator import (
+    CleverleafPatchIntegrator,
+    NonResidentGpuPatchIntegrator,
+)
+from .hydro.problems import BlastProblem, Problem, SodProblem, TriplePointProblem
+from .mesh.box import Box, IntVector
+from .mesh.box_container import BoxContainer
+from .mesh.geometry import CartesianGridGeometry
+from .mesh.hierarchy import PatchHierarchy
+from .mesh.patch import Patch
+from .mesh.patch_level import PatchLevel
+from .mesh.variables import CudaDataFactory, HostDataFactory, Variable, VariableRegistry
+from .perf.machines import IPA, TITAN, Machine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Box", "IntVector", "BoxContainer", "CartesianGridGeometry",
+    "PatchHierarchy", "PatchLevel", "Patch",
+    "Variable", "VariableRegistry", "HostDataFactory", "CudaDataFactory",
+    "Device", "DeviceSpec", "DeviceArray", "K20X",
+    "GpuError", "MemorySpaceError", "DeviceOutOfMemory",
+    "SimCommunicator", "Rank", "Message",
+    "LagrangianEulerianIntegrator", "SimulationConfig", "SimulationError",
+    "CleverleafPatchIntegrator", "NonResidentGpuPatchIntegrator",
+    "Problem", "SodProblem", "TriplePointProblem", "BlastProblem",
+    "field_summary", "gather_level_field",
+    "Machine", "IPA", "TITAN",
+    "make_communicator",
+]
+
+
+def make_communicator(machine: "str | Machine" = "IPA", nranks: int = 1,
+                      gpus: bool = True) -> SimCommunicator:
+    """Build a communicator for a named machine model ("IPA" or "Titan").
+
+    One rank drives one GPU (the paper's MPI+CUDA decomposition); with
+    ``gpus=False`` each rank is one full CPU node.
+    """
+    if isinstance(machine, str):
+        machine = {"IPA": IPA, "TITAN": TITAN}[machine.upper()]
+    return SimCommunicator(
+        nranks, machine.cpu, machine.interconnect,
+        machine.gpu if gpus else None,
+    )

@@ -1,0 +1,1 @@
+"""Simulated MPI: ranks with virtual clocks and a network cost model."""

@@ -1,0 +1,159 @@
+"""Simulated SPMD communication: ranks, exchanges, reductions.
+
+The whole simulation executes in one process, but every patch has an owner
+rank, and each rank owns a virtual host clock, an optional simulated GPU,
+and a timer registry.  Communication calls move the clocks through the
+network cost model while the payload bytes move through ordinary NumPy
+copies, so the scaling benchmarks measure the same time composition the
+paper measures on real MPI.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..gpu.device import Device, DeviceSpec
+from ..gpu.kernel import KernelSpec, kernel_spec
+from ..perf.machines import CpuSpec, NetworkSpec
+from ..util.clock import VirtualClock
+from ..util.timer import TimerRegistry
+
+__all__ = ["Rank", "SimCommunicator", "Message"]
+
+
+@dataclass
+class Message:
+    """A point-to-point payload descriptor used for clock accounting."""
+
+    src: int
+    dst: int
+    nbytes: int
+
+
+class Rank:
+    """One simulated MPI rank: clock, optional GPU, CPU model, timers."""
+
+    def __init__(self, index: int, cpu: CpuSpec, gpu: DeviceSpec | None = None):
+        self.index = index
+        self.cpu = cpu
+        self.clock = VirtualClock()
+        self.device = Device(gpu, host_clock=self.clock) if gpu is not None else None
+        self.timers = TimerRegistry(self.clock)
+
+    # -- CPU execution model -------------------------------------------------
+
+    def cpu_run(self, name: str | KernelSpec, elements: int, fn, *args):
+        """Run a CPU kernel over ``elements`` elements, charging the clock."""
+        spec = name if isinstance(name, KernelSpec) else kernel_spec(name)
+        nbytes, nflops = spec.work(max(int(elements), 0))
+        cost = self.cpu.kernel_overhead + max(
+            nbytes / self.cpu.dram_bandwidth, nflops / self.cpu.peak_flops
+        )
+        self.clock.advance(cost)
+        return fn(*args)
+
+    def cpu_charge(self, seconds: float) -> None:
+        """Charge raw host-side time (framework overheads, regridding)."""
+        self.clock.advance(seconds)
+
+    def sync_device(self) -> None:
+        if self.device is not None:
+            self.device.synchronize()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Rank({self.index}, t={self.clock.time:.6g}s)"
+
+
+class SimCommunicator:
+    """A set of ranks plus the interconnect cost model."""
+
+    def __init__(
+        self,
+        nranks: int,
+        cpu: CpuSpec,
+        network: NetworkSpec,
+        gpu: DeviceSpec | None = None,
+    ):
+        if nranks < 1:
+            raise ValueError("need at least one rank")
+        self.network = network
+        self.ranks = [Rank(i, cpu, gpu) for i in range(nranks)]
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    def rank(self, i: int) -> Rank:
+        return self.ranks[i]
+
+    def max_time(self) -> float:
+        return max(r.clock.time for r in self.ranks)
+
+    # -- collectives -----------------------------------------------------------
+
+    def barrier(self) -> None:
+        t = self.max_time()
+        for r in self.ranks:
+            r.clock.advance_to(t)
+
+    def allreduce_min(self, values: list[float], nbytes: int = 8) -> float:
+        """MPI_Allreduce(MIN): the paper's one global reduction (dt)."""
+        if len(values) != self.size:
+            raise ValueError("one value per rank required")
+        self._charge_allreduce(nbytes)
+        return min(values)
+
+    def allreduce_sum(self, values: list[float], nbytes: int = 8) -> float:
+        self._charge_allreduce(nbytes)
+        return math.fsum(values)
+
+    def allgather(self, bytes_per_rank: list[int]) -> None:
+        """Charge an allgather phase (used for regrid tag collection).
+
+        Ring model: every rank ends up with everyone's contribution, so
+        each pays latency per hop plus total bytes over the wire.
+        """
+        if len(bytes_per_rank) != self.size:
+            raise ValueError("one byte count per rank required")
+        t = self.max_time()
+        if self.size > 1:
+            total = sum(bytes_per_rank)
+            hops = math.ceil(math.log2(self.size))
+            t += hops * self.network.latency + total / self.network.bandwidth
+        for r in self.ranks:
+            r.clock.advance_to(t)
+
+    def _charge_allreduce(self, nbytes: int) -> None:
+        # Recursive-doubling model: all ranks meet, then pay 2*log2(P) hops.
+        t = self.max_time()
+        if self.size > 1:
+            hops = 2 * math.ceil(math.log2(self.size))
+            t += hops * self.network.message_cost(nbytes)
+        for r in self.ranks:
+            r.clock.advance_to(t)
+
+    # -- neighbourhood exchange ------------------------------------------------
+
+    def exchange(self, messages: list[Message]) -> None:
+        """Advance clocks for a halo-exchange-style message phase.
+
+        Each rank serialises its own sends (latency + bytes/bandwidth per
+        message); a receiver cannot proceed past a message before its
+        sender has finished sending it.  Self-messages are free (handled by
+        on-node copies whose cost is charged elsewhere).
+        """
+        send_done = {r.index: r.clock.time for r in self.ranks}
+        for m in messages:
+            if m.src == m.dst:
+                continue
+            send_done[m.src] += self.network.message_cost(m.nbytes)
+        for r in self.ranks:
+            r.clock.advance_to(send_done[r.index])
+        for m in messages:
+            if m.src == m.dst:
+                continue
+            self.ranks[m.dst].clock.advance_to(send_done[m.src])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimCommunicator(size={self.size}, net={self.network.name!r})"

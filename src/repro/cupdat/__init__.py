@@ -1,0 +1,1 @@
+"""GPU-resident patch data: the paper's CudaPatchData library (SIV-B)."""

@@ -1,0 +1,104 @@
+"""GPU-resident array storage: ``CudaArrayData`` (paper Fig. 3/4).
+
+The common data store for every GPU-resident centring.  It allocates one
+contiguous device buffer covering its frame box and provides *data-parallel*
+copy, pack, and unpack operations, each executed as a simulated kernel
+launch with one thread per element (the paper's Fig. 4 packing scheme).
+
+Packed buffers travel: device kernel packs into a contiguous device buffer
+→ PCIe D2H → (MPI) → PCIe H2D → device kernel unpacks; the host only ever
+holds the contiguous stream, never the array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.device import Device
+from ..gpu.memory import DeviceArray
+from ..mesh.box import Box
+
+__all__ = ["CudaArrayData"]
+
+
+class CudaArrayData:
+    """Device-memory array covering ``frame`` (inclusive index box)."""
+
+    def __init__(self, frame: Box, device: Device, fill: float | None = None):
+        self.frame = frame
+        self.device = device
+        self.darr = DeviceArray(device, tuple(frame.shape()))
+        if fill is not None:
+            self.fill(fill)
+
+    # -- device-side access (kernels only) -------------------------------------
+
+    def view(self, box: Box) -> np.ndarray:
+        """Writable view of region ``box`` — legal only inside a kernel."""
+        return self.darr.kernel_view()[box.slices_in(self.frame)]
+
+    def full_view(self) -> np.ndarray:
+        return self.darr.kernel_view()
+
+    # -- data-parallel operations -----------------------------------------------
+
+    def fill(self, value: float, box: Box | None = None) -> None:
+        box = box if box is not None else self.frame
+        self.device.launch(
+            "pdat.fill", box.size(),
+            lambda: self.view(box).__setitem__(..., value),
+        )
+
+    def copy_from(self, src: "CudaArrayData", box: Box) -> None:
+        """Device-to-device region copy (same device; one thread/element)."""
+        if src.device is not self.device:
+            raise ValueError(
+                "cross-device copy must go through pack/D2H/H2D/unpack"
+            )
+        src_view = lambda: src.view(box)
+        self.device.launch(
+            "pdat.copy", box.size(),
+            lambda: self.view(box).__setitem__(..., src_view()),
+        )
+
+    def pack_to_device_buffer(self, box: Box) -> DeviceArray:
+        """Kernel-pack region ``box`` into a contiguous device buffer."""
+        buf = DeviceArray(self.device, (box.size(),))
+
+        def body():
+            buf.kernel_view()[...] = self.view(box).reshape(-1)
+
+        self.device.launch("pdat.pack", box.size(), body)
+        return buf
+
+    def pack_to_host(self, box: Box) -> np.ndarray:
+        """Pack on the device, then copy the contiguous buffer over PCIe."""
+        dbuf = self.pack_to_device_buffer(box)
+        out = self.device.to_host(dbuf)
+        dbuf.free()
+        return out
+
+    def unpack_from_host(self, buffer: np.ndarray, box: Box) -> None:
+        """Copy a contiguous host buffer over PCIe, then kernel-unpack."""
+        if buffer.size != box.size():
+            raise ValueError(f"buffer size {buffer.size} != region size {box.size()}")
+        dbuf = self.device.from_host(np.ascontiguousarray(buffer, dtype=np.float64))
+
+        def body():
+            self.view(box)[...] = dbuf.kernel_view().reshape(tuple(box.shape()))
+
+        self.device.launch("pdat.unpack", box.size(), body)
+        dbuf.free()
+
+    # -- host mirroring (for initialisation, analysis, visualisation) -------------
+
+    def to_host_array(self) -> np.ndarray:
+        """Full D2H copy of the frame (charged as a PCIe transfer)."""
+        return self.device.to_host(self.darr)
+
+    def from_host_array(self, host: np.ndarray) -> None:
+        """Full H2D copy into the frame."""
+        self.device.memcpy_htod(self.darr, np.ascontiguousarray(host, dtype=np.float64))
+
+    def free(self) -> None:
+        self.darr.free()

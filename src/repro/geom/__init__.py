@@ -1,0 +1,1 @@
+"""Data-parallel refine and coarsen operators (the paper's geom package)."""

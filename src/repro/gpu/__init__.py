@@ -1,0 +1,1 @@
+"""Simulated CUDA runtime: device, memory space, streams, kernels, costs."""

@@ -1,0 +1,247 @@
+"""The simulated CUDA device.
+
+A :class:`Device` owns a modelled DRAM capacity, a host-clock reference, a
+default stream, and the launch/transfer machinery.  Kernels run as ordinary
+Python functions over NumPy views of device buffers, but only *inside* a
+launch — the runtime enforces the memory-space separation that makes the
+paper's residency claim meaningful (see :mod:`repro.gpu.errors`).
+
+Performance is charged to virtual clocks using a roofline model per kernel
+and a latency/bandwidth model per PCIe transfer.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..util.clock import VirtualClock
+from .errors import DeviceOutOfMemory, MemorySpaceError
+from .kernel import KernelSpec, LaunchConfig, kernel_spec
+from .stream import Stream
+
+__all__ = ["DeviceSpec", "Device", "DeviceStats", "K20X"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Hardware parameters of a modelled GPU."""
+
+    name: str
+    dram_bandwidth: float        # effective B/s
+    peak_flops: float            # double-precision FLOP/s
+    memory_bytes: int            # DRAM capacity
+    kernel_overhead: float       # fixed device-side cost per launch (s)
+    host_launch_overhead: float  # host/driver cost per launch (s)
+    pcie_bandwidth: float        # B/s, one direction
+    pcie_latency: float          # per-transfer latency (s)
+
+
+# NVIDIA Tesla K20x with ECC on, attached over PCIe gen 2 (Titan's config).
+K20X = DeviceSpec(
+    name="NVIDIA Tesla K20x",
+    dram_bandwidth=170e9,
+    peak_flops=1.31e12,
+    memory_bytes=6 * 1024**3,
+    kernel_overhead=7.0e-6,
+    host_launch_overhead=3.0e-6,
+    pcie_bandwidth=6.0e9,
+    pcie_latency=10.0e-6,
+)
+
+
+@dataclass
+class DeviceStats:
+    """Counters used by tests and the ablation benchmarks."""
+
+    kernel_launches: int = 0
+    kernel_seconds: float = 0.0
+    bytes_h2d: int = 0
+    bytes_d2h: int = 0
+    transfers_h2d: int = 0
+    transfers_d2h: int = 0
+    transfer_seconds: float = 0.0
+    peak_bytes_allocated: int = 0
+    launches_by_name: dict = field(default_factory=dict)
+
+    def reset(self) -> None:
+        self.__init__()
+
+
+class Device:
+    """A simulated GPU with its own memory space and timelines."""
+
+    def __init__(self, spec: DeviceSpec = K20X, host_clock: VirtualClock | None = None):
+        self.spec = spec
+        self.host_clock = host_clock if host_clock is not None else VirtualClock()
+        self.default_stream = Stream(self)
+        self.bytes_allocated = 0
+        self.stats = DeviceStats()
+        self._kernel_depth = 0
+        self._in_memcpy = 0
+
+    # -- memory space guard --------------------------------------------------
+
+    @property
+    def open_for_access(self) -> bool:
+        """True while device buffers may legally be touched."""
+        return self._kernel_depth > 0 or self._in_memcpy > 0
+
+    @contextmanager
+    def _kernel_scope(self):
+        self._kernel_depth += 1
+        try:
+            yield
+        finally:
+            self._kernel_depth -= 1
+
+    @contextmanager
+    def _memcpy_scope(self):
+        self._in_memcpy += 1
+        try:
+            yield
+        finally:
+            self._in_memcpy -= 1
+
+    # -- allocation -----------------------------------------------------------
+
+    def _alloc(self, nbytes: int) -> None:
+        if self.bytes_allocated + nbytes > self.spec.memory_bytes:
+            raise DeviceOutOfMemory(
+                f"{self.spec.name}: allocating {nbytes} bytes would exceed "
+                f"{self.spec.memory_bytes} (currently {self.bytes_allocated})"
+            )
+        self.bytes_allocated += nbytes
+        if self.bytes_allocated > self.stats.peak_bytes_allocated:
+            self.stats.peak_bytes_allocated = self.bytes_allocated
+
+    def _free(self, nbytes: int) -> None:
+        self.bytes_allocated = max(0, self.bytes_allocated - nbytes)
+
+    def empty(self, shape, dtype=np.float64) -> "DeviceArray":
+        from .memory import DeviceArray
+
+        return DeviceArray(self, shape, dtype=dtype)
+
+    def zeros(self, shape, dtype=np.float64) -> "DeviceArray":
+        arr = self.empty(shape, dtype=dtype)
+        with self._memcpy_scope():
+            arr.kernel_view().fill(0)
+        return arr
+
+    def full(self, shape, value, dtype=np.float64) -> "DeviceArray":
+        arr = self.empty(shape, dtype=dtype)
+        with self._memcpy_scope():
+            arr.kernel_view().fill(value)
+        return arr
+
+    def from_host(self, host_array: np.ndarray, stream: Stream | None = None) -> "DeviceArray":
+        arr = self.empty(host_array.shape, dtype=host_array.dtype)
+        self.memcpy_htod(arr, host_array, stream=stream)
+        return arr
+
+    # -- streams ----------------------------------------------------------------
+
+    def create_stream(self) -> Stream:
+        return Stream(self)
+
+    def synchronize(self) -> None:
+        """``cudaDeviceSynchronize``: host waits for the default stream."""
+        self.default_stream.synchronize()
+
+    # -- kernel launch ------------------------------------------------------
+
+    def launch(self, name, elements: int, fn, *args, stream: Stream | None = None, block_size: int = 256):
+        """Launch a kernel: execute ``fn(*args)``, charge modelled time.
+
+        ``name`` is either a kernel name (looked up in the registry) or a
+        :class:`KernelSpec`.  DeviceArray arguments are passed through; the
+        kernel body reads them via ``kernel_view()``, which is legal inside
+        the launch.  Returns whatever ``fn`` returns.
+        """
+        spec = name if isinstance(name, KernelSpec) else kernel_spec(name)
+        stream = stream or self.default_stream
+        config = LaunchConfig.for_elements(max(int(elements), 0), block_size)
+
+        self.host_clock.advance(self.spec.host_launch_overhead)
+        nbytes, nflops = spec.work(elements)
+        t_mem = nbytes / self.spec.dram_bandwidth
+        t_flop = nflops / self.spec.peak_flops
+        cost = self.spec.kernel_overhead + max(t_mem, t_flop)
+        stream.clock.advance_to(self.host_clock.time)
+        stream.clock.advance(cost)
+
+        self.stats.kernel_launches += 1
+        self.stats.kernel_seconds += cost
+        self.stats.launches_by_name[spec.name] = (
+            self.stats.launches_by_name.get(spec.name, 0) + 1
+        )
+
+        with self._kernel_scope():
+            return fn(*args)
+
+    # -- transfers -----------------------------------------------------------
+
+    def _transfer_cost(self, nbytes: int) -> float:
+        return self.spec.pcie_latency + nbytes / self.spec.pcie_bandwidth
+
+    def memcpy_htod(self, dst: "DeviceArray", src: np.ndarray, stream: Stream | None = None) -> None:
+        """Copy host → device.  Synchronous unless a stream is given."""
+        if dst.nbytes != src.nbytes:
+            raise ValueError(f"memcpy size mismatch: {dst.nbytes} vs {src.nbytes}")
+        self._charge_transfer(src.nbytes, stream)
+        self.stats.bytes_h2d += src.nbytes
+        self.stats.transfers_h2d += 1
+        with self._memcpy_scope():
+            dst.kernel_view()[...] = src.reshape(dst.shape)
+
+    def memcpy_dtoh(self, dst: np.ndarray, src: "DeviceArray", stream: Stream | None = None) -> None:
+        """Copy device → host.  Synchronous unless a stream is given."""
+        if dst.nbytes != src.nbytes:
+            raise ValueError(f"memcpy size mismatch: {dst.nbytes} vs {src.nbytes}")
+        self._charge_transfer(src.nbytes, stream)
+        self.stats.bytes_d2h += src.nbytes
+        self.stats.transfers_d2h += 1
+        with self._memcpy_scope():
+            dst.reshape(src.shape)[...] = src.kernel_view()
+
+    def to_host(self, src: "DeviceArray", stream: Stream | None = None) -> np.ndarray:
+        out = np.empty(src.shape, dtype=src.dtype)
+        self.memcpy_dtoh(out, src, stream=stream)
+        return out
+
+    def memcpy_dtod(self, dst: "DeviceArray", src: "DeviceArray", stream: Stream | None = None) -> None:
+        """Device → device copy: runs at DRAM bandwidth, no PCIe hop."""
+        if dst.nbytes != src.nbytes:
+            raise ValueError("memcpy size mismatch")
+        s = stream or self.default_stream
+        cost = self.spec.kernel_overhead + 2 * src.nbytes / self.spec.dram_bandwidth
+        s.clock.advance_to(self.host_clock.time)
+        s.clock.advance(cost)
+        with self._memcpy_scope():
+            dst.kernel_view()[...] = src.kernel_view()
+
+    def _charge_transfer(self, nbytes: int, stream: Stream | None) -> None:
+        cost = self._transfer_cost(nbytes)
+        self.stats.transfer_seconds += cost
+        if stream is None:
+            # Synchronous copy: host blocks until all prior work and the
+            # transfer itself complete.
+            t0 = max(self.host_clock.time, self.default_stream.clock.time)
+            self.host_clock.advance_to(t0 + cost)
+            self.default_stream.clock.advance_to(self.host_clock.time)
+        else:
+            # Async copy: enqueued on the stream, host only pays the call.
+            self.host_clock.advance(self.spec.host_launch_overhead)
+            stream.clock.advance_to(self.host_clock.time)
+            stream.clock.advance(cost)
+
+    def require_access(self) -> None:
+        """Raise unless device memory may legally be touched right now."""
+        if not self.open_for_access:
+            raise MemorySpaceError(
+                f"host code touched {self.spec.name} memory outside a kernel "
+                "launch or memcpy — data must stay resident on the device"
+            )

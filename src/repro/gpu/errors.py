@@ -1,0 +1,20 @@
+"""Errors raised by the simulated CUDA runtime."""
+
+__all__ = ["GpuError", "MemorySpaceError", "DeviceOutOfMemory"]
+
+
+class GpuError(RuntimeError):
+    """Base class for simulated-CUDA errors."""
+
+
+class MemorySpaceError(GpuError):
+    """Host code touched device memory outside a kernel or memcpy.
+
+    This is the enforcement mechanism behind the paper's *residency*
+    property: solution data lives in GPU memory at all times, and any
+    accidental host access is a bug the runtime catches immediately.
+    """
+
+
+class DeviceOutOfMemory(GpuError):
+    """Allocation would exceed the device's modelled DRAM capacity."""

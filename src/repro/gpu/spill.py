@@ -1,0 +1,137 @@
+"""Patch spilling: oversubscribing GPU memory via host-side eviction.
+
+The paper's future work (§VI) proposes "allowing patches to be 'spilled'
+into CPU memory and then be transferred back to the device when
+necessary", so problems larger than the 6 GB K20x DRAM can run.  This
+module implements that mechanism: a :class:`SpillManager` tracks
+GPU-resident arrays, evicts least-recently-used ones to host memory when
+an allocation would not fit, and transparently restores them (possibly
+evicting others) when they are touched again.
+
+Spill and restore each cross the PCIe bus and are charged accordingly, so
+benchmarks can quantify the oversubscription penalty.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from .device import Device
+from .errors import DeviceOutOfMemory
+from .memory import DeviceArray
+
+__all__ = ["SpillableArray", "SpillManager"]
+
+
+class SpillableArray:
+    """A device array that can round-trip to host memory.
+
+    While resident, behaves like the wrapped :class:`DeviceArray`; while
+    spilled, the bytes live in a host buffer and any access must first go
+    through the manager's :meth:`SpillManager.touch`.
+    """
+
+    def __init__(self, manager: "SpillManager", shape, dtype=np.float64):
+        self.manager = manager
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+        self.nbytes = int(np.prod(self.shape)) * self.dtype.itemsize
+        self._darr: DeviceArray | None = None
+        self._host: np.ndarray | None = None
+        manager._admit(self)
+
+    @property
+    def resident(self) -> bool:
+        return self._darr is not None
+
+    def kernel_view(self) -> np.ndarray:
+        """Device buffer access; only valid while resident."""
+        if self._darr is None:
+            raise DeviceOutOfMemory(
+                "array is spilled to host; call manager.touch() first"
+            )
+        return self._darr.kernel_view()
+
+    # -- manager internals ---------------------------------------------------
+
+    def _materialise(self, device: Device) -> None:
+        self._darr = DeviceArray(device, self.shape, dtype=self.dtype)
+        if self._host is not None:
+            device.memcpy_htod(self._darr, self._host)
+            self._host = None
+        else:
+            with device._memcpy_scope():
+                self._darr.kernel_view().fill(0.0)
+
+    def _evict(self, device: Device) -> None:
+        self._host = np.empty(self.shape, dtype=self.dtype)
+        device.memcpy_dtoh(self._host, self._darr)
+        self._darr.free()
+        self._darr = None
+
+
+class SpillManager:
+    """LRU eviction of device arrays into host memory.
+
+    ``headroom`` reserves a fraction of device memory for transient
+    allocations (pack buffers, temporaries) that are not spill-managed.
+    """
+
+    def __init__(self, device: Device, headroom: float = 0.1):
+        self.device = device
+        self.budget = int(device.spec.memory_bytes * (1.0 - headroom))
+        self._lru: "OrderedDict[int, SpillableArray]" = OrderedDict()
+        self.spill_count = 0
+        self.restore_count = 0
+
+    # -- public API -------------------------------------------------------------
+
+    def array(self, shape, dtype=np.float64) -> SpillableArray:
+        """Allocate a new managed (initially zero) array."""
+        return SpillableArray(self, shape, dtype)
+
+    def touch(self, arr: SpillableArray) -> SpillableArray:
+        """Mark recently used; restore from host if spilled."""
+        key = id(arr)
+        if key in self._lru:
+            self._lru.move_to_end(key)
+        if not arr.resident:
+            self._make_room(arr.nbytes)
+            arr._materialise(self.device)
+            self.restore_count += 1
+            self._lru[key] = arr
+            self._lru.move_to_end(key)
+        return arr
+
+    def resident_bytes(self) -> int:
+        return sum(a.nbytes for a in self._lru.values() if a.resident)
+
+    def managed_bytes(self) -> int:
+        return sum(a.nbytes for a in self._lru.values())
+
+    # -- internals --------------------------------------------------------------
+
+    def _admit(self, arr: SpillableArray) -> None:
+        if arr.nbytes > self.budget:
+            raise DeviceOutOfMemory(
+                f"a single array of {arr.nbytes} bytes exceeds the spill "
+                f"budget of {self.budget}"
+            )
+        self._make_room(arr.nbytes)
+        arr._materialise(self.device)
+        self._lru[id(arr)] = arr
+
+    def _make_room(self, nbytes: int) -> None:
+        """Evict LRU residents until ``nbytes`` fits in the budget."""
+        while self.resident_bytes() + nbytes > self.budget:
+            victim = next(
+                (a for a in self._lru.values() if a.resident), None
+            )
+            if victim is None:
+                raise DeviceOutOfMemory(
+                    f"cannot fit {nbytes} bytes even with everything spilled"
+                )
+            victim._evict(self.device)
+            self.spill_count += 1

@@ -1,0 +1,65 @@
+"""CUDA streams and events for the simulated runtime.
+
+A stream is an in-order execution timeline on the device.  Events capture a
+point on a stream's timeline so other streams (or the host) can wait on it —
+exactly the ``cudaEventRecord`` / ``cudaStreamWaitEvent`` pattern the paper
+uses to order the refine kernel between coarse- and fine-level streams
+(Fig. 5a).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..util.clock import VirtualClock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .device import Device
+
+__all__ = ["Stream", "Event"]
+
+
+class Stream:
+    """An in-order device execution timeline."""
+
+    _next_id = 0
+
+    def __init__(self, device: "Device"):
+        self.device = device
+        self.clock = VirtualClock(device.host_clock.time)
+        self.id = Stream._next_id
+        Stream._next_id += 1
+
+    def synchronize(self) -> None:
+        """Block the host until all work queued on this stream is done."""
+        self.device.host_clock.advance_to(self.clock.time)
+
+    def wait_event(self, event: "Event") -> None:
+        """Future work on this stream waits for ``event`` to complete."""
+        self.clock.advance_to(event.timestamp)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Stream(id={self.id}, t={self.clock.time:.6g}s)"
+
+
+class Event:
+    """A marker on a stream timeline (``cudaEvent_t``)."""
+
+    def __init__(self):
+        self.timestamp = 0.0
+        self.recorded = False
+
+    def record(self, stream: Stream) -> None:
+        self.timestamp = stream.clock.time
+        self.recorded = True
+
+    def synchronize(self, device: "Device") -> None:
+        if not self.recorded:
+            raise RuntimeError("synchronizing an unrecorded event")
+        device.host_clock.advance_to(self.timestamp)
+
+    def elapsed_since(self, earlier: "Event") -> float:
+        """Seconds between two recorded events (``cudaEventElapsedTime``)."""
+        if not (self.recorded and earlier.recorded):
+            raise RuntimeError("elapsed time requires two recorded events")
+        return self.timestamp - earlier.timestamp

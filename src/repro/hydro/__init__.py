@@ -1,0 +1,1 @@
+"""CleverLeaf: CloverLeaf-scheme hydrodynamics with AMR on CPU or GPU."""

@@ -1,0 +1,65 @@
+"""CleverLeaf field declarations and per-kernel cost registrations.
+
+The field set mirrors CleverLeaf/CloverLeaf: double-buffered cell-centred
+density and specific internal energy, derived pressure/viscosity/sound
+speed, node-centred velocities, side-centred volume and mass fluxes, and
+the persistent work arrays the advection kernels need.
+"""
+
+from __future__ import annotations
+
+from ..gpu.kernel import register_kernel
+from ..mesh.variables import VariableRegistry
+
+__all__ = ["declare_fields", "FIELD_GROUPS", "PRIMARY_FIELDS", "GHOSTS"]
+
+GHOSTS = 2
+
+#: fields carrying the physical state between steps (regrid transfers these)
+PRIMARY_FIELDS = ("density0", "energy0", "xvel0", "yvel0")
+
+#: halo-fill groups used at specific points of the step (CloverLeaf's
+#: update_halo field masks)
+FIELD_GROUPS = {
+    "step_start": ("density0", "energy0", "pressure", "viscosity",
+                   "xvel0", "yvel0"),
+    "pre_viscosity": ("pressure",),
+    "post_viscosity": ("viscosity",),
+    "half_step": ("pressure",),
+    "pre_advec": ("density1", "energy1", "vol_flux_x", "vol_flux_y"),
+    "mid_advec_x": ("density1", "energy1", "mass_flux_x", "xvel1", "yvel1"),
+    "mid_advec_y": ("density1", "energy1", "mass_flux_y", "xvel1", "yvel1"),
+}
+
+
+def declare_fields(registry: VariableRegistry | None = None) -> VariableRegistry:
+    """Declare every CleverLeaf field on a registry and return it."""
+    r = registry if registry is not None else VariableRegistry()
+    for name in ("density0", "density1", "energy0", "energy1",
+                 "pressure", "viscosity", "soundspeed",
+                 "pre_vol", "post_vol", "ener_flux"):
+        r.declare(name, "cell", GHOSTS)
+    for name in ("xvel0", "xvel1", "yvel0", "yvel1",
+                 "node_flux", "node_mass_post", "node_mass_pre", "mom_flux"):
+        r.declare(name, "node", GHOSTS)
+    for name in ("vol_flux_x", "mass_flux_x"):
+        r.declare(name, "side", GHOSTS, axis=0)
+    for name in ("vol_flux_y", "mass_flux_y"):
+        r.declare(name, "side", GHOSTS, axis=1)
+    return r
+
+
+# Roofline cost parameters per hydro kernel: DRAM bytes and flops per cell
+# processed.  Derived from the arrays each kernel reads/writes; the hydro
+# step totals ~1 kB/cell, which is what makes it bandwidth-bound on both
+# architectures.
+register_kernel("hydro.ideal_gas", bytes_per_elem=48.0, flops_per_elem=12.0)
+register_kernel("hydro.viscosity", bytes_per_elem=104.0, flops_per_elem=55.0)
+register_kernel("hydro.calc_dt", bytes_per_elem=88.0, flops_per_elem=40.0)
+register_kernel("hydro.pdv", bytes_per_elem=136.0, flops_per_elem=45.0)
+register_kernel("hydro.accelerate", bytes_per_elem=120.0, flops_per_elem=40.0)
+register_kernel("hydro.flux_calc", bytes_per_elem=96.0, flops_per_elem=12.0)
+register_kernel("hydro.advec_cell", bytes_per_elem=192.0, flops_per_elem=80.0)
+register_kernel("hydro.advec_mom", bytes_per_elem=168.0, flops_per_elem=70.0)
+register_kernel("hydro.reset_field", bytes_per_elem=96.0, flops_per_elem=0.0)
+register_kernel("hydro.initialise", bytes_per_elem=64.0, flops_per_elem=20.0)

@@ -1,0 +1,372 @@
+"""The Lagrangian–Eulerian AMR integrator (CleverLeaf's driver classes).
+
+Combines the roles of the paper's ``LagrangianEulerianIntegrator`` (manage
+the adaptive hierarchy, advance the simulation) and
+``LagrangianEulerianLevelIntegrator`` (advance one level) — see Fig. 6.
+Levels advance in lockstep with a single global timestep (the minimum over
+every patch, reduced with the run's one global MPI reduction), each kernel
+phase running across all levels before the next halo fill, so coarse-fine
+ghost interpolation always reads same-phase data.
+
+Timers split the step into the categories of the paper's §V-B analysis:
+``hydro`` (kernels + boundary exchanges), ``timestep`` (CFL + reduction),
+``sync`` (fine-to-coarse synchronisation), and ``regrid``.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..geom.operators import (
+    CellConservativeLinearRefine,
+    CellMassWeightedCoarsen,
+    CellVolumeWeightedCoarsen,
+    NodeInjectionCoarsen,
+    NodeLinearRefine,
+    SideConservativeLinearRefine,
+)
+from ..mesh.box import Box
+from ..mesh.geometry import CartesianGridGeometry
+from ..mesh.hierarchy import PatchHierarchy
+from ..regrid.load_balance import assign_owners, chop_boxes
+from ..regrid.regridder import RegridConfig, Regridder
+from ..xfer.coarsen_schedule import CoarsenSchedule, CoarsenSpec
+from ..xfer.refine_schedule import FillSpec, RefineSchedule
+from .boundary import ReflectiveBoundary
+from .fields import FIELD_GROUPS, PRIMARY_FIELDS, declare_fields
+from .patch_integrator import CleverleafPatchIntegrator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..comm.simcomm import SimCommunicator
+    from .problems import Problem
+
+__all__ = ["SimulationConfig", "LagrangianEulerianIntegrator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """The simulation reached an invalid state (non-finite dt, etc.)."""
+
+
+@dataclass
+class SimulationConfig:
+    """Run-level parameters of a CleverLeaf simulation."""
+
+    max_levels: int = 3
+    refinement_ratio: int = 2
+    max_patch_size: int = 64
+    regrid: RegridConfig = field(default_factory=RegridConfig)
+    gamma: float = 1.4
+    dt_growth: float = 1.5
+    dt_max: float = 1.0e10
+    dt_init: float = 1.0e10
+
+    def __post_init__(self):
+        # Fine levels inherit the run's patch-size limit unless the regrid
+        # config sets its own.
+        if self.regrid.max_patch_size is None:
+            self.regrid.max_patch_size = self.max_patch_size
+
+
+class LagrangianEulerianIntegrator:
+    """Drives a CleverLeaf simulation over an adaptive hierarchy."""
+
+    def __init__(
+        self,
+        problem: "Problem",
+        comm: "SimCommunicator",
+        factory,
+        config: SimulationConfig | None = None,
+        patch_integrator: CleverleafPatchIntegrator | None = None,
+    ):
+        self.problem = problem
+        self.comm = comm
+        self.factory = factory
+        self.config = config if config is not None else SimulationConfig()
+        self.variables = declare_fields()
+        self.boundary = ReflectiveBoundary()
+        self.patch_integrator = (
+            patch_integrator if patch_integrator is not None
+            else CleverleafPatchIntegrator(gamma=self.config.gamma)
+        )
+
+        domain = Box.from_shape(problem.base_resolution)
+        self.geometry = CartesianGridGeometry(domain, problem.x_lo, problem.x_hi)
+        self.hierarchy = PatchHierarchy(
+            self.geometry, self.config.max_levels, self.config.refinement_ratio
+        )
+        self.regridder = Regridder(
+            self.hierarchy, comm, factory, self.variables,
+            self._specs_for(PRIMARY_FIELDS), self.boundary, self.config.regrid,
+        )
+        self._refine_ops = {
+            "cell": CellConservativeLinearRefine(),
+            "node": NodeLinearRefine(),
+            "side": SideConservativeLinearRefine(),
+        }
+        self._fill_schedules: dict = {}
+        self._coarsen_schedules: dict = {}
+        self._geometry_cache: dict = {}
+        self.time = 0.0
+        self.step_count = 0
+        self.dt = None
+
+    # -- spec helpers ---------------------------------------------------------
+
+    def _specs_for(self, names) -> list[FillSpec]:
+        ops = {
+            "cell": CellConservativeLinearRefine(),
+            "node": NodeLinearRefine(),
+            "side": SideConservativeLinearRefine(),
+        }
+        return [
+            FillSpec(self.variables[n], ops[self.variables[n].centring])
+            for n in names
+        ]
+
+    # -- timers -------------------------------------------------------------------
+
+    @contextmanager
+    def _phase(self, name: str):
+        """Time a step phase on every rank's virtual clock."""
+        for r in self.comm.ranks:
+            r.sync_device()
+        starts = [r.clock.time for r in self.comm.ranks]
+        try:
+            yield
+        finally:
+            for r, t0 in zip(self.comm.ranks, starts):
+                r.sync_device()
+                delta = r.clock.time - t0
+                r.timers.totals[name] = r.timers.totals.get(name, 0.0) + delta
+                r.timers.counts[name] = r.timers.counts.get(name, 0) + 1
+
+    def timer_summary(self) -> dict[str, float]:
+        """Per-category maxima over ranks (critical-path time)."""
+        names: set[str] = set()
+        for r in self.comm.ranks:
+            names.update(r.timers.totals)
+        return {
+            n: max(r.timers.total(n) for r in self.comm.ranks) for n in names
+        }
+
+    # -- initialisation ----------------------------------------------------------
+
+    def initialise(self) -> None:
+        """Build the initial hierarchy: base level, then iterative refinement.
+
+        Only the coarsest level is user-specified; the error-estimation and
+        hierarchy-generation procedure creates the finer levels (§II), each
+        re-initialised from the analytic initial conditions.
+        """
+        boxes = chop_boxes(
+            [self.geometry.domain_box], self.config.max_patch_size
+        )
+        owners = assign_owners(boxes, self.comm.size)
+        level0 = self.hierarchy.make_level(0, boxes, owners)
+        level0.allocate_all(self.variables, self.factory, self.comm)
+        self.hierarchy.set_level(level0)
+        self._init_level_data(level0)
+        self._prepare_for_tagging()
+
+        with self._phase("regrid"):
+            for _ in range(self.config.max_levels - 1):
+                before = self.hierarchy.num_levels
+                self.regridder.regrid(init_level_callback=self._init_level_data)
+                self._invalidate_schedules()
+                for lvl in self.hierarchy:
+                    if lvl.level_number > 0:
+                        self._init_level_data(lvl)
+                self._prepare_for_tagging()
+                if self.hierarchy.num_levels == before:
+                    break
+
+    def _init_level_data(self, level) -> None:
+        """Analytic initial conditions + EOS on every patch of a level."""
+        for patch in level:
+            rank = self.comm.rank(patch.owner)
+            self.patch_integrator.initialise(patch, rank, self.problem)
+
+    # -- halo fills -----------------------------------------------------------------
+
+    def _invalidate_schedules(self) -> None:
+        self._fill_schedules.clear()
+        self._coarsen_schedules.clear()
+        self._geometry_cache.clear()
+
+    def _fill_group_level(self, level, names) -> None:
+        key = (level.level_number, tuple(names))
+        sched = self._fill_schedules.get(key)
+        if sched is None:
+            coarse = (
+                self.hierarchy.level(level.level_number - 1)
+                if level.level_number > 0 else None
+            )
+            sched = RefineSchedule(
+                level, coarse, self._specs_for(names), self.comm,
+                self.factory, boundary=self.boundary,
+                geometry_cache=self._geometry_cache,
+            )
+            self._fill_schedules[key] = sched
+        sched.fill(time=self.time)
+
+    def _fill_group(self, group: str) -> None:
+        """Fill a halo group on every level, coarsest first."""
+        names = FIELD_GROUPS[group]
+        for level in self.hierarchy:
+            self._fill_group_level(level, names)
+
+    # -- per-kernel sweeps over the hierarchy -------------------------------------
+
+    def _foreach_patch(self, fn) -> None:
+        for level in self.hierarchy:
+            for patch in level:
+                fn(patch, self.comm.rank(patch.owner))
+
+    # -- the timestep --------------------------------------------------------------
+
+    def step(self) -> float:
+        """Advance the whole hierarchy by one global timestep."""
+        pi = self.patch_integrator
+
+        with self._phase("hydro"):
+            self._fill_group("step_start")
+            # EOS extended into the ghosts gives viscosity/accelerate their
+            # pressure halos without a separate exchange.
+            self._foreach_patch(lambda p, r: pi.ideal_gas(p, r, ext=2))
+            self._foreach_patch(lambda p, r: pi.viscosity(p, r))
+            self._fill_group("post_viscosity")
+
+        with self._phase("timestep"):
+            dt = self._compute_dt()
+
+        with self._phase("hydro"):
+            self._foreach_patch(lambda p, r: pi.pdv(p, r, True, dt))
+            self._foreach_patch(lambda p, r: pi.ideal_gas(p, r, predict=True))
+            self._fill_group("half_step")
+            self._foreach_patch(lambda p, r: pi.accelerate(p, r, dt))
+            self._foreach_patch(lambda p, r: pi.pdv(p, r, False, dt))
+            self._foreach_patch(lambda p, r: pi.flux_calc(p, r, dt))
+            self._fill_group("pre_advec")
+
+            first = 0 if self.step_count % 2 == 0 else 1
+            second = 1 - first
+            self._advect(first, 1)
+            self._advect(second, 2)
+            self._foreach_patch(lambda p, r: pi.reset_field(p, r))
+
+        with self._phase("sync"):
+            self._synchronise()
+
+        self.time += dt
+        self.step_count += 1
+        self.dt = dt
+
+        if (self.config.max_levels > 1
+                and self.step_count % self.config.regrid.regrid_interval == 0):
+            with self._phase("regrid"):
+                self._prepare_for_tagging()
+                self.regridder.regrid(init_level_callback=self._reset_derived)
+                self._invalidate_schedules()
+        return dt
+
+    def _prepare_for_tagging(self) -> None:
+        """Fresh primary ghosts + extended EOS so tag gradients are valid.
+
+        After reset_field only the interiors hold the new state; the tag
+        heuristic reads +-1 stencils of density, energy *and pressure*, so
+        the error-estimation pass starts with a boundary fill (as SAMRAI's
+        does) and an EOS sweep over interiors and ghosts.
+        """
+        for level in self.hierarchy:
+            self._fill_group_level(level, PRIMARY_FIELDS)
+        self._foreach_patch(
+            lambda p, r: self.patch_integrator.ideal_gas(p, r, ext=2)
+        )
+
+    def _advect(self, direction: int, sweep_number: int) -> None:
+        pi = self.patch_integrator
+        self._foreach_patch(
+            lambda p, r: pi.advec_cell(p, r, direction, sweep_number)
+        )
+        self._fill_group("mid_advec_x" if direction == 0 else "mid_advec_y")
+        for which_vel in (0, 1):
+            self._foreach_patch(
+                lambda p, r: pi.advec_mom(p, r, direction, sweep_number, which_vel)
+            )
+
+    def _compute_dt(self) -> float:
+        pi = self.patch_integrator
+        local = [math.inf] * self.comm.size
+        for level in self.hierarchy:
+            for patch in level:
+                rank = self.comm.rank(patch.owner)
+                dt = pi.calc_dt(patch, rank)
+                if dt < local[patch.owner]:
+                    local[patch.owner] = dt
+        dt = self.comm.allreduce_min(local)
+        if not math.isfinite(dt) or dt <= 0.0:
+            raise SimulationError(f"invalid timestep {dt} at step {self.step_count}")
+        if self.dt is None:
+            dt = min(dt, self.config.dt_init)
+        else:
+            dt = min(dt, self.config.dt_growth * self.dt)
+        return min(dt, self.config.dt_max)
+
+    def _synchronise(self) -> None:
+        """Fine-to-coarse conservative averaging after the step."""
+        vol = CellVolumeWeightedCoarsen()
+        mass = CellMassWeightedCoarsen()
+        inject = NodeInjectionCoarsen()
+        for fine_num in range(self.hierarchy.num_levels - 1, 0, -1):
+            key = fine_num
+            sched = self._coarsen_schedules.get(key)
+            if sched is None:
+                specs = [
+                    # Energy first: its mass weight is the *pre-sync* fine
+                    # density, which coarsening density does not alter, but
+                    # keeping the order explicit documents the dependency.
+                    CoarsenSpec(self.variables["energy0"], mass, weight_name="density0"),
+                    CoarsenSpec(self.variables["density0"], vol),
+                    CoarsenSpec(self.variables["xvel0"], inject),
+                    CoarsenSpec(self.variables["yvel0"], inject),
+                ]
+                sched = CoarsenSchedule(
+                    self.hierarchy.level(fine_num),
+                    self.hierarchy.level(fine_num - 1),
+                    specs, self.comm, self.factory,
+                )
+                self._coarsen_schedules[key] = sched
+            sched.coarsen()
+
+    def _reset_derived(self, level) -> None:
+        """After regrid: recompute EOS on transferred data, zero work arrays."""
+        pi = self.patch_integrator
+        for patch in level:
+            rank = self.comm.rank(patch.owner)
+            pi.ideal_gas(patch, rank, ext=0)
+
+    # -- run loops ----------------------------------------------------------------
+
+    def run(self, max_steps: int | None = None, end_time: float | None = None):
+        """Advance until a step or time budget is exhausted."""
+        if max_steps is None and end_time is None:
+            raise ValueError("need max_steps or end_time")
+        while True:
+            if max_steps is not None and self.step_count >= max_steps:
+                break
+            if end_time is not None and self.time >= end_time:
+                break
+            self.step()
+        return self
+
+    # -- metrics --------------------------------------------------------------------
+
+    def total_cells(self) -> int:
+        return self.hierarchy.total_cells()
+
+    def elapsed(self) -> float:
+        """Virtual wall time of the run (slowest rank)."""
+        return self.comm.max_time()

@@ -1,0 +1,269 @@
+"""Patch integrators: advance the solution on a single patch.
+
+This is the paper's black-box integration point (Fig. 6): the framework
+drives one of these per patch and never needs to know where the data lives.
+
+* :class:`CleverleafPatchIntegrator` dispatches each kernel to the owning
+  rank's CPU model (host data) or launches it on the rank's simulated GPU
+  (resident data) — the paper's CPU and ``Cudaleaf`` integrators in one
+  class, selected by the patch-data factory used to build the hierarchy.
+* :class:`NonResidentGpuPatchIntegrator` reproduces the naive porting
+  style the paper criticises (§I, §III, Wang et al.): host-resident data,
+  GPU kernels, with every input copied to the device and every output
+  copied back around *every* kernel launch.  It exists for the residency
+  ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from . import kernels as K
+from .fields import GHOSTS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..comm.simcomm import Rank
+    from ..mesh.patch import Patch
+
+__all__ = ["CleverleafPatchIntegrator", "NonResidentGpuPatchIntegrator"]
+
+
+def _is_resident(patch: "Patch") -> bool:
+    return getattr(patch.data("density0"), "RESIDENT", False)
+
+
+class CleverleafPatchIntegrator:
+    """CloverLeaf-scheme integrator over one patch, CPU or GPU resident."""
+
+    def __init__(self, gamma: float = 1.4):
+        self.gamma = gamma
+
+    # -- dispatch helpers ---------------------------------------------------
+
+    def _arrs(self, patch: "Patch", names: Iterable[str]) -> dict[str, np.ndarray]:
+        out = {}
+        for n in names:
+            pd = patch.data(n)
+            if getattr(pd, "RESIDENT", False):
+                out[n] = pd.data.full_view()
+            else:
+                out[n] = pd.data.array
+        return out
+
+    def _run(self, patch: "Patch", rank: "Rank", kernel: str, elements: int,
+             body, reads=(), writes=()):
+        if _is_resident(patch):
+            return rank.device.launch(kernel, elements, body)
+        return rank.cpu_run(kernel, elements, body)
+
+    def _geom(self, patch: "Patch"):
+        nx, ny = patch.box.shape()
+        dx, dy = patch.dx
+        return int(nx), int(ny), GHOSTS, float(dx), float(dy)
+
+    # -- initialisation --------------------------------------------------------
+
+    def initialise(self, patch: "Patch", rank: "Rank", problem) -> None:
+        """Set initial density/energy/velocity from a problem definition.
+
+        The problem evaluates fields on host coordinate arrays (initial
+        conditions are set on the CPU and copied up once, as in CLAMR and
+        the paper's setup); resident data receives one H2D per field.
+        """
+        xc, yc = patch.cell_centers()
+        d, e = problem.initial_state(xc, yc)
+        nx, ny, g, dx, dy = self._geom(patch)
+
+        def fill_field(name, interior, fill_value):
+            pd = patch.data(name)
+            frame_shape = tuple(pd.get_ghost_box().shape())
+            host = np.full(frame_shape, fill_value, dtype=np.float64)
+            sl = tuple(slice(g, g + s) for s in interior.shape)
+            host[sl] = interior
+            if getattr(pd, "RESIDENT", False):
+                pd.from_host(host)
+            else:
+                pd.data.array[...] = host
+
+        dens = np.broadcast_to(d, (nx, ny)).astype(np.float64)
+        ener = np.broadcast_to(e, (nx, ny)).astype(np.float64)
+        fill_field("density0", dens, 1.0)
+        fill_field("energy0", ener, 1.0e-6)
+        zeros_n = np.zeros((nx + 1, ny + 1))
+        fill_field("xvel0", zeros_n, 0.0)
+        fill_field("yvel0", zeros_n, 0.0)
+        for name in ("density1", "energy1", "pressure", "viscosity",
+                     "soundspeed", "xvel1", "yvel1",
+                     "vol_flux_x", "vol_flux_y", "mass_flux_x", "mass_flux_y",
+                     "pre_vol", "post_vol", "ener_flux",
+                     "node_flux", "node_mass_post", "node_mass_pre", "mom_flux"):
+            patch.data(name).fill(0.0)
+        self.ideal_gas(patch, rank, predict=False, ext=0)
+
+    # -- kernels ---------------------------------------------------------------
+
+    def ideal_gas(self, patch, rank, predict: bool = False, ext: int = 0):
+        nx, ny, g, dx, dy = self._geom(patch)
+        dname, ename = ("density1", "energy1") if predict else ("density0", "energy0")
+        names = (dname, ename, "pressure", "soundspeed")
+
+        def body():
+            a = self._arrs(patch, names)
+            K.ideal_gas(a[dname], a[ename], a["pressure"], a["soundspeed"],
+                        nx, ny, g, self.gamma, ext)
+
+        self._run(patch, rank, "hydro.ideal_gas",
+                  (nx + 2 * ext) * (ny + 2 * ext), body,
+                  reads=(dname, ename), writes=("pressure", "soundspeed"))
+
+    def viscosity(self, patch, rank):
+        nx, ny, g, dx, dy = self._geom(patch)
+        names = ("density0", "pressure", "viscosity", "xvel0", "yvel0")
+
+        def body():
+            a = self._arrs(patch, names)
+            K.viscosity(a["density0"], a["pressure"], a["viscosity"],
+                        a["xvel0"], a["yvel0"], nx, ny, g, dx, dy)
+
+        self._run(patch, rank, "hydro.viscosity", nx * ny, body,
+                  reads=names[:2] + names[3:], writes=("viscosity",))
+
+    def calc_dt(self, patch, rank) -> float:
+        nx, ny, g, dx, dy = self._geom(patch)
+        names = ("density0", "soundspeed", "viscosity", "xvel0", "yvel0")
+
+        def body():
+            a = self._arrs(patch, names)
+            return K.calc_dt(a["density0"], a["soundspeed"], a["viscosity"],
+                             a["xvel0"], a["yvel0"], nx, ny, g, dx, dy)
+
+        dt = self._run(patch, rank, "hydro.calc_dt", nx * ny, body, reads=names)
+        if _is_resident(patch):
+            # The reduced scalar crosses the PCIe bus.
+            rank.device._charge_transfer(8, None)
+            rank.device.stats.bytes_d2h += 8
+            rank.device.stats.transfers_d2h += 1
+        return dt
+
+    def pdv(self, patch, rank, predict: bool, dt: float):
+        nx, ny, g, dx, dy = self._geom(patch)
+        names = ("density0", "density1", "energy0", "energy1", "pressure",
+                 "viscosity", "xvel0", "yvel0", "xvel1", "yvel1")
+
+        def body():
+            a = self._arrs(patch, names)
+            K.pdv(predict, dt, a["density0"], a["density1"], a["energy0"],
+                  a["energy1"], a["pressure"], a["viscosity"],
+                  a["xvel0"], a["yvel0"], a["xvel1"], a["yvel1"],
+                  nx, ny, g, dx, dy)
+
+        self._run(patch, rank, "hydro.pdv", nx * ny, body,
+                  reads=names, writes=("density1", "energy1"))
+
+    def accelerate(self, patch, rank, dt: float):
+        nx, ny, g, dx, dy = self._geom(patch)
+        names = ("density0", "pressure", "viscosity",
+                 "xvel0", "yvel0", "xvel1", "yvel1")
+
+        def body():
+            a = self._arrs(patch, names)
+            K.accelerate(dt, a["density0"], a["pressure"], a["viscosity"],
+                         a["xvel0"], a["yvel0"], a["xvel1"], a["yvel1"],
+                         nx, ny, g, dx, dy)
+
+        self._run(patch, rank, "hydro.accelerate", (nx + 1) * (ny + 1), body,
+                  reads=names[:5], writes=("xvel1", "yvel1"))
+
+    def flux_calc(self, patch, rank, dt: float):
+        nx, ny, g, dx, dy = self._geom(patch)
+        names = ("xvel0", "yvel0", "xvel1", "yvel1", "vol_flux_x", "vol_flux_y")
+
+        def body():
+            a = self._arrs(patch, names)
+            K.flux_calc(dt, a["xvel0"], a["yvel0"], a["xvel1"], a["yvel1"],
+                        a["vol_flux_x"], a["vol_flux_y"], nx, ny, g, dx, dy)
+
+        self._run(patch, rank, "hydro.flux_calc", nx * ny, body,
+                  reads=names[:4], writes=names[4:])
+
+    def advec_cell(self, patch, rank, direction: int, sweep_number: int):
+        nx, ny, g, dx, dy = self._geom(patch)
+        names = ("density1", "energy1", "vol_flux_x", "vol_flux_y",
+                 "mass_flux_x", "mass_flux_y", "pre_vol", "post_vol", "ener_flux")
+
+        def body():
+            a = self._arrs(patch, names)
+            K.advec_cell(direction, sweep_number, a["density1"], a["energy1"],
+                         a["vol_flux_x"], a["vol_flux_y"],
+                         a["mass_flux_x"], a["mass_flux_y"],
+                         a["pre_vol"], a["post_vol"], a["ener_flux"],
+                         nx, ny, g, dx, dy)
+
+        self._run(patch, rank, "hydro.advec_cell", nx * ny, body,
+                  reads=names[:4],
+                  writes=("density1", "energy1", "mass_flux_x" if direction == 0
+                          else "mass_flux_y", "pre_vol", "post_vol", "ener_flux"))
+
+    def advec_mom(self, patch, rank, direction: int, sweep_number: int,
+                  which_vel: int):
+        nx, ny, g, dx, dy = self._geom(patch)
+        vel_name = "xvel1" if which_vel == 0 else "yvel1"
+        names = (vel_name, "density1", "vol_flux_x", "vol_flux_y",
+                 "mass_flux_x", "mass_flux_y", "node_flux", "node_mass_post",
+                 "node_mass_pre", "mom_flux", "pre_vol", "post_vol")
+
+        def body():
+            a = self._arrs(patch, names)
+            K.advec_mom(direction, sweep_number, a[vel_name], a["density1"],
+                        a["vol_flux_x"], a["vol_flux_y"],
+                        a["mass_flux_x"], a["mass_flux_y"],
+                        a["node_flux"], a["node_mass_post"],
+                        a["node_mass_pre"], a["mom_flux"],
+                        a["pre_vol"], a["post_vol"], nx, ny, g, dx, dy)
+
+        self._run(patch, rank, "hydro.advec_mom", (nx + 1) * (ny + 1), body,
+                  reads=names[1:6], writes=(vel_name,))
+
+    def reset_field(self, patch, rank):
+        nx, ny, g, dx, dy = self._geom(patch)
+        names = ("density0", "density1", "energy0", "energy1",
+                 "xvel0", "xvel1", "yvel0", "yvel1")
+
+        def body():
+            a = self._arrs(patch, names)
+            K.reset_field(a["density0"], a["density1"], a["energy0"],
+                          a["energy1"], a["xvel0"], a["xvel1"],
+                          a["yvel0"], a["yvel1"], nx, ny, g)
+
+        self._run(patch, rank, "hydro.reset_field", nx * ny, body,
+                  reads=names[1::2], writes=names[0::2])
+
+
+class NonResidentGpuPatchIntegrator(CleverleafPatchIntegrator):
+    """GPU kernels over host-resident data, copied both ways per launch.
+
+    Models the pre-resident porting style: the hierarchy is built with the
+    host data factory, and every kernel launch is bracketed by H2D copies
+    of its inputs and D2H copies of its outputs across the PCIe bus.
+    """
+
+    def _run(self, patch, rank, kernel, elements, body, reads=(), writes=()):
+        device = rank.device
+        if device is None:
+            raise ValueError("non-resident GPU integrator needs a device")
+        for name in set(reads) | set(writes):
+            pd = patch.data(name)
+            nbytes = pd.data.array.nbytes
+            device._charge_transfer(nbytes, None)
+            device.stats.bytes_h2d += nbytes
+            device.stats.transfers_h2d += 1
+        result = device.launch(kernel, elements, body)
+        for name in writes:
+            pd = patch.data(name)
+            nbytes = pd.data.array.nbytes
+            device._charge_transfer(nbytes, None)
+            device.stats.bytes_d2h += nbytes
+            device.stats.transfers_d2h += 1
+        return result

@@ -1,0 +1,156 @@
+"""Exact Riemann solver for the Sod validation harness.
+
+Solves the 1-D Riemann problem for the Euler equations with a gamma-law
+gas (Toro, ch. 4): Newton iteration on the star-region pressure, then
+self-similar sampling of the solution at x/t.  Used by the tests and
+examples to check that the CleverLeaf scheme converges to the correct weak
+solution (shock position, contact position, plateau states).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RiemannState", "ExactRiemannSolver", "sod_exact"]
+
+
+@dataclass(frozen=True)
+class RiemannState:
+    """Primitive state (density, velocity, pressure)."""
+
+    rho: float
+    u: float
+    p: float
+
+
+class ExactRiemannSolver:
+    """Exact solution of the 1-D Riemann problem."""
+
+    def __init__(self, left: RiemannState, right: RiemannState, gamma: float = 1.4):
+        self.left = left
+        self.right = right
+        self.g = gamma
+        self.p_star, self.u_star = self._solve_star()
+
+    # -- star region ------------------------------------------------------------
+
+    def _sound_speed(self, s: RiemannState) -> float:
+        return np.sqrt(self.g * s.p / s.rho)
+
+    def _f_and_df(self, p: float, s: RiemannState) -> tuple[float, float]:
+        """Toro's f_K(p) and its derivative for one side."""
+        g = self.g
+        a = self._sound_speed(s)
+        if p > s.p:  # shock
+            A = 2.0 / ((g + 1.0) * s.rho)
+            B = (g - 1.0) / (g + 1.0) * s.p
+            sq = np.sqrt(A / (p + B))
+            f = (p - s.p) * sq
+            df = sq * (1.0 - 0.5 * (p - s.p) / (p + B))
+        else:  # rarefaction
+            f = (2.0 * a / (g - 1.0)) * ((p / s.p) ** ((g - 1.0) / (2.0 * g)) - 1.0)
+            df = (1.0 / (s.rho * a)) * (p / s.p) ** (-(g + 1.0) / (2.0 * g))
+        return f, df
+
+    def _solve_star(self) -> tuple[float, float]:
+        L, R = self.left, self.right
+        # Two-rarefaction initial guess is robust for Sod-like problems.
+        g = self.g
+        aL, aR = self._sound_speed(L), self._sound_speed(R)
+        z = (g - 1.0) / (2.0 * g)
+        p = ((aL + aR - 0.5 * (g - 1.0) * (R.u - L.u))
+             / (aL / L.p ** z + aR / R.p ** z)) ** (1.0 / z)
+        p = max(p, 1e-12)
+        for _ in range(60):
+            fL, dL = self._f_and_df(p, L)
+            fR, dR = self._f_and_df(p, R)
+            f = fL + fR + (R.u - L.u)
+            step = f / (dL + dR)
+            p_new = max(p - step, 1e-14)
+            if abs(p_new - p) < 1e-14 * (1.0 + p):
+                p = p_new
+                break
+            p = p_new
+        fL, _ = self._f_and_df(p, L)
+        fR, _ = self._f_and_df(p, R)
+        u = 0.5 * (L.u + R.u) + 0.5 * (fR - fL)
+        return float(p), float(u)
+
+    # -- sampling ---------------------------------------------------------------
+
+    def sample(self, xi: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Solution (rho, u, p) at similarity coordinates xi = x/t."""
+        xi = np.asarray(xi, dtype=np.float64)
+        rho = np.empty_like(xi)
+        u = np.empty_like(xi)
+        p = np.empty_like(xi)
+        for i, s in np.ndenumerate(xi):
+            rho[i], u[i], p[i] = self._sample_one(float(s))
+        return rho, u, p
+
+    def _sample_one(self, s: float) -> tuple[float, float, float]:
+        g = self.g
+        L, R, ps, us = self.left, self.right, self.p_star, self.u_star
+        if s <= us:  # left of contact
+            a = self._sound_speed(L)
+            if ps > L.p:  # left shock
+                sh = L.u - a * np.sqrt((g + 1.0) / (2.0 * g) * ps / L.p
+                                       + (g - 1.0) / (2.0 * g))
+                if s < sh:
+                    return L.rho, L.u, L.p
+                rho = L.rho * ((ps / L.p + (g - 1.0) / (g + 1.0))
+                               / ((g - 1.0) / (g + 1.0) * ps / L.p + 1.0))
+                return rho, us, ps
+            # left rarefaction
+            head = L.u - a
+            a_star = a * (ps / L.p) ** ((g - 1.0) / (2.0 * g))
+            tail = us - a_star
+            if s < head:
+                return L.rho, L.u, L.p
+            if s > tail:
+                rho = L.rho * (ps / L.p) ** (1.0 / g)
+                return rho, us, ps
+            u = 2.0 / (g + 1.0) * (a + (g - 1.0) / 2.0 * L.u + s)
+            c = 2.0 / (g + 1.0) * (a + (g - 1.0) / 2.0 * (L.u - s))
+            rho = L.rho * (c / a) ** (2.0 / (g - 1.0))
+            p = L.p * (c / a) ** (2.0 * g / (g - 1.0))
+            return rho, u, p
+        # right of contact
+        a = self._sound_speed(R)
+        if ps > R.p:  # right shock
+            sh = R.u + a * np.sqrt((g + 1.0) / (2.0 * g) * ps / R.p
+                                   + (g - 1.0) / (2.0 * g))
+            if s > sh:
+                return R.rho, R.u, R.p
+            rho = R.rho * ((ps / R.p + (g - 1.0) / (g + 1.0))
+                           / ((g - 1.0) / (g + 1.0) * ps / R.p + 1.0))
+            return rho, us, ps
+        # right rarefaction
+        head = R.u + a
+        a_star = a * (ps / R.p) ** ((g - 1.0) / (2.0 * g))
+        tail = us + a_star
+        if s > head:
+            return R.rho, R.u, R.p
+        if s < tail:
+            rho = R.rho * (ps / R.p) ** (1.0 / g)
+            return rho, us, ps
+        u = 2.0 / (g + 1.0) * (-a + (g - 1.0) / 2.0 * R.u + s)
+        c = 2.0 / (g + 1.0) * (a - (g - 1.0) / 2.0 * (R.u - s))
+        rho = R.rho * (c / a) ** (2.0 / (g - 1.0))
+        p = R.p * (c / a) ** (2.0 * g / (g - 1.0))
+        return rho, u, p
+
+
+def sod_exact(x: np.ndarray, t: float, interface: float = 0.5,
+              gamma: float = 1.4) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Exact Sod solution (rho, u, p) at positions ``x`` and time ``t``."""
+    solver = ExactRiemannSolver(
+        RiemannState(1.0, 0.0, 1.0), RiemannState(0.125, 0.0, 0.1), gamma
+    )
+    if t <= 0:
+        left = x < interface
+        return (np.where(left, 1.0, 0.125), np.zeros_like(x),
+                np.where(left, 1.0, 0.1))
+    return solver.sample((np.asarray(x) - interface) / t)

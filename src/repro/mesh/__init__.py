@@ -1,0 +1,1 @@
+"""Mesh structures: box calculus, geometry, patches, levels, hierarchy."""

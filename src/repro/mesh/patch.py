@@ -1,0 +1,70 @@
+"""A patch: one rectangular mesh region and the data living on it."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .box import Box
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..comm.simcomm import Rank
+    from ..pdat.patch_data import PatchData
+    from .patch_level import PatchLevel
+    from .variables import Variable
+
+__all__ = ["Patch"]
+
+
+class Patch:
+    """Container for all the data of one mesh region (SAMRAI's ``Patch``)."""
+
+    def __init__(self, box: Box, global_id: int, owner: int, level: "PatchLevel"):
+        if box.is_empty():
+            raise ValueError("patch box must be nonempty")
+        self.box = box
+        self.global_id = global_id
+        self.owner = owner
+        self.level = level
+        self._data: dict[str, "PatchData"] = {}
+
+    # -- data management ---------------------------------------------------
+
+    def allocate(self, var: "Variable", factory, rank: "Rank") -> "PatchData":
+        pd = factory.allocate(var, self.box, rank)
+        self._data[var.name] = pd
+        return pd
+
+    def data(self, name: str) -> "PatchData":
+        return self._data[name]
+
+    def has_data(self, name: str) -> bool:
+        return name in self._data
+
+    def set_data(self, name: str, pd: "PatchData") -> None:
+        self._data[name] = pd
+
+    def data_names(self) -> list[str]:
+        return list(self._data)
+
+    def free_all(self) -> None:
+        """Release every PatchData (frees device allocations promptly)."""
+        for pd in self._data.values():
+            free = getattr(pd, "free", None)
+            if free is not None:
+                free()
+        self._data.clear()
+
+    # -- geometry helpers ------------------------------------------------------
+
+    @property
+    def dx(self) -> tuple[float, ...]:
+        return self.level.dx
+
+    def cell_centers(self):
+        return self.level.geometry.cell_centers(self.box, self.level.ratio_to_base)
+
+    def touches_boundary(self):
+        return self.level.geometry.touches_boundary(self.box, self.level.ratio_to_base)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Patch(id={self.global_id}, L{self.level.level_number}, {self.box}, owner={self.owner})"

@@ -1,0 +1,87 @@
+"""A patch level: all patches at one refinement ratio."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from .box import Box, IntVector
+from .box_container import BoxContainer
+from .patch import Patch
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..comm.simcomm import SimCommunicator
+    from .geometry import CartesianGridGeometry
+    from .variables import VariableRegistry
+
+__all__ = ["PatchLevel"]
+
+
+class PatchLevel:
+    """All patches at one level of refinement (SAMRAI's ``PatchLevel``)."""
+
+    def __init__(
+        self,
+        level_number: int,
+        boxes: Iterable[Box],
+        owners: Iterable[int],
+        geometry: "CartesianGridGeometry",
+        ratio_to_base: int | IntVector,
+        ratio_to_coarser: int | IntVector | None,
+    ):
+        self.level_number = level_number
+        if isinstance(ratio_to_base, int):
+            ratio_to_base = IntVector.uniform(ratio_to_base, geometry.dim)
+        self.ratio_to_base = ratio_to_base
+        if isinstance(ratio_to_coarser, int):
+            ratio_to_coarser = IntVector.uniform(ratio_to_coarser, geometry.dim)
+        self.ratio_to_coarser = ratio_to_coarser
+        self.geometry = geometry
+        self.domain = geometry.level_domain(ratio_to_base)
+        self.dx = geometry.level_dx(ratio_to_base)
+        self.patches: list[Patch] = []
+        for gid, (box, owner) in enumerate(zip(boxes, owners)):
+            if not self.domain.contains_box(box):
+                raise ValueError(f"patch box {box} outside level domain {self.domain}")
+            self.patches.append(Patch(box, gid, owner, self))
+
+    # -- queries ---------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Patch]:
+        return iter(self.patches)
+
+    def __len__(self) -> int:
+        return len(self.patches)
+
+    def boxes(self) -> BoxContainer:
+        return BoxContainer(p.box for p in self.patches)
+
+    def local_patches(self, rank_index: int) -> list[Patch]:
+        return [p for p in self.patches if p.owner == rank_index]
+
+    def total_cells(self) -> int:
+        return sum(p.box.size() for p in self.patches)
+
+    def cells_per_rank(self, nranks: int) -> list[int]:
+        counts = [0] * nranks
+        for p in self.patches:
+            counts[p.owner] += p.box.size()
+        return counts
+
+    # -- allocation ----------------------------------------------------------
+
+    def allocate_all(self, variables: "VariableRegistry", factory, comm: "SimCommunicator") -> None:
+        """Allocate every declared variable on every patch."""
+        for patch in self.patches:
+            rank = comm.rank(patch.owner)
+            for var in variables:
+                patch.allocate(var, factory, rank)
+
+    def free_all(self) -> None:
+        for patch in self.patches:
+            patch.free_all()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PatchLevel(L{self.level_number}, patches={len(self.patches)}, "
+            f"cells={self.total_cells()}, ratio_to_base={tuple(self.ratio_to_base)})"
+        )

@@ -1,0 +1,100 @@
+"""Variable declarations and patch-data factories.
+
+A :class:`Variable` describes one simulation quantity (name, centring,
+ghost width).  A factory turns a variable plus a patch box into a concrete
+``PatchData`` object — host-resident or GPU-resident — which is the single
+point where the CPU and GPU builds of the application diverge, mirroring
+how the paper swaps ``PatchData`` implementations under an unchanged
+SAMRAI framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..pdat.cell_data import CellData
+from ..pdat.node_data import NodeData
+from ..pdat.side_data import SideData
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..gpu.device import Device
+    from ..pdat.patch_data import PatchData
+    from .box import Box
+
+__all__ = ["Variable", "VariableRegistry", "HostDataFactory", "CudaDataFactory"]
+
+CENTRINGS = ("cell", "node", "side")
+
+
+@dataclass(frozen=True)
+class Variable:
+    """Declaration of one mesh quantity."""
+
+    name: str
+    centring: str
+    ghosts: int = 2
+    axis: int = 0  # only meaningful for side centring
+
+    def __post_init__(self):
+        if self.centring not in CENTRINGS:
+            raise ValueError(f"unknown centring {self.centring!r}")
+
+
+class VariableRegistry:
+    """Ordered set of variables a simulation declares up front."""
+
+    def __init__(self):
+        self._vars: dict[str, Variable] = {}
+
+    def declare(self, name: str, centring: str, ghosts: int = 2, axis: int = 0) -> Variable:
+        if name in self._vars:
+            raise ValueError(f"variable {name!r} already declared")
+        var = Variable(name, centring, ghosts, axis)
+        self._vars[name] = var
+        return var
+
+    def __iter__(self):
+        return iter(self._vars.values())
+
+    def __getitem__(self, name: str) -> Variable:
+        return self._vars[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._vars
+
+    def names(self) -> list[str]:
+        return list(self._vars)
+
+
+class HostDataFactory:
+    """Allocates CPU-resident patch data."""
+
+    location = "host"
+
+    def allocate(self, var: Variable, box: "Box", rank) -> "PatchData":
+        if var.centring == "cell":
+            return CellData(box, var.ghosts)
+        if var.centring == "node":
+            return NodeData(box, var.ghosts)
+        return SideData(box, var.ghosts, var.axis)
+
+
+class CudaDataFactory:
+    """Allocates GPU-resident patch data on the owning rank's device."""
+
+    location = "device"
+
+    def allocate(self, var: Variable, box: "Box", rank) -> "PatchData":
+        from ..cupdat.cuda_cell_data import CudaCellData
+        from ..cupdat.cuda_node_data import CudaNodeData
+        from ..cupdat.cuda_side_data import CudaSideData
+
+        device: "Device" = rank.device
+        if device is None:
+            raise ValueError(f"rank {rank.index} has no device for CUDA data")
+        if var.centring == "cell":
+            return CudaCellData(box, var.ghosts, device)
+        if var.centring == "node":
+            return CudaNodeData(box, var.ghosts, device)
+        return CudaSideData(box, var.ghosts, var.axis, device)

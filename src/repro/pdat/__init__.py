@@ -1,0 +1,1 @@
+"""Host-resident patch data: ArrayData and the three centrings."""

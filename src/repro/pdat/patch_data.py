@@ -1,0 +1,105 @@
+"""The ``PatchData`` strategy interface (paper Fig. 2).
+
+Everything SAMRAI needs in order to move simulation data around — copying
+between patches, packing/unpacking message streams for MPI — is expressed
+against this interface.  Implementing it is what lets the GPU-resident
+classes in :mod:`repro.cupdat` plug into the same schedules as the CPU
+classes without the framework knowing where the bytes live.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..mesh.box import Box, IntVector
+
+__all__ = ["PatchData", "cell_frame", "node_frame", "side_frame"]
+
+
+def cell_frame(box: Box, ghosts: int) -> Box:
+    """Index frame of a cell-centred array over ``box`` with ghost width."""
+    return box.grow(ghosts)
+
+
+def node_frame(box: Box, ghosts: int) -> Box:
+    """Index frame of a node-centred array: one extra index per axis."""
+    g = box.grow(ghosts)
+    return Box(g.lower, g.upper + IntVector.uniform(1, box.dim))
+
+
+def side_frame(box: Box, ghosts: int, axis: int) -> Box:
+    """Index frame of side-centred data normal to ``axis``."""
+    g = box.grow(ghosts)
+    upper = list(g.upper)
+    upper[axis] += 1
+    return Box(g.lower, upper)
+
+
+class PatchData(abc.ABC):
+    """Abstract interface for data living on one patch.
+
+    Concrete classes provide a *frame* (the index box their storage covers,
+    including ghosts, in the centring's index space) and implement region
+    copies and stream pack/unpack against boxes expressed in that same
+    index space.
+    """
+
+    def __init__(self, box: Box, ghosts: int):
+        self.box = box
+        self.ghosts = int(ghosts)
+        self._time = 0.0
+
+    # -- interface from the paper's Fig. 2 ---------------------------------
+
+    def get_box(self) -> Box:
+        return self.box
+
+    @abc.abstractmethod
+    def get_ghost_box(self) -> Box:
+        """The full index frame covered by the storage (centring space)."""
+
+    def get_ghost_cell_width(self) -> int:
+        return self.ghosts
+
+    def set_time(self, timestamp: float) -> None:
+        self._time = float(timestamp)
+
+    def get_time(self) -> float:
+        return self._time
+
+    @abc.abstractmethod
+    def copy(self, src: "PatchData", overlap: Box) -> None:
+        """Copy ``overlap`` (in this centring's index space) from ``src``."""
+
+    def copy2(self, dst: "PatchData", overlap: Box) -> None:
+        dst.copy(self, overlap)
+
+    def can_estimate_stream_size_from_box(self) -> bool:
+        return True
+
+    def get_data_stream_size(self, overlap: Box) -> int:
+        """Bytes needed to stream the given region."""
+        return overlap.size() * np.dtype(np.float64).itemsize
+
+    @abc.abstractmethod
+    def pack_stream(self, overlap: Box) -> np.ndarray:
+        """Pack ``overlap`` into a contiguous float64 host buffer."""
+
+    @abc.abstractmethod
+    def unpack_stream(self, buffer: np.ndarray, overlap: Box) -> None:
+        """Unpack a contiguous host buffer into ``overlap``."""
+
+    # -- restart (simplified database = dict) --------------------------------
+
+    def put_to_restart(self, db: dict) -> None:
+        db["box"] = (tuple(self.box.lower), tuple(self.box.upper))
+        db["ghosts"] = self.ghosts
+        db["time"] = self._time
+
+    def get_from_restart(self, db: dict) -> None:
+        self._time = db["time"]
+
+    def get_dim(self) -> int:
+        return self.box.dim

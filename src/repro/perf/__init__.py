@@ -1,0 +1,1 @@
+"""Machine models for the paper's two platforms (Table I)."""

@@ -1,0 +1,133 @@
+"""Machine models: the two platforms from the paper's Table I.
+
+Each model captures the parameters that matter for the roofline/latency
+cost accounting: effective memory bandwidth, peak double-precision rate,
+per-kernel fixed overheads, PCIe characteristics, and the interconnect.
+Effective (not peak) bandwidths are used throughout because the hydro
+kernels are bandwidth-bound; the K20x : E5-2670-node ratio of roughly
+170 : 64 GB/s is what produces the paper's ~2.7x large-problem speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.device import K20X, DeviceSpec
+
+__all__ = ["CpuSpec", "NetworkSpec", "Machine", "IPA", "TITAN",
+           "IPA_CPU_NODE", "TITAN_CPU_NODE", "FDR_INFINIBAND", "GEMINI"]
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A CPU *node-level* execution resource (all cores of the node)."""
+
+    name: str
+    cores: int
+    clock_ghz: float
+    dram_bandwidth: float   # effective node B/s (STREAM-like)
+    peak_flops: float       # node double-precision FLOP/s
+    kernel_overhead: float  # per parallel-region launch (s)
+
+
+# Dual-socket Intel Xeon E5-2670 "Sandy Bridge" (IPA node, 16 cores).
+IPA_CPU_NODE = CpuSpec(
+    name="2x Intel Xeon E5-2670",
+    cores=16,
+    clock_ghz=2.6,
+    dram_bandwidth=64e9,
+    peak_flops=332.8e9,
+    kernel_overhead=4.0e-6,
+)
+
+# Single-socket AMD Opteron 6274 "Interlagos" (Titan node, 16 cores).
+TITAN_CPU_NODE = CpuSpec(
+    name="AMD Opteron 6274",
+    cores=16,
+    clock_ghz=2.2,
+    dram_bandwidth=31e9,
+    peak_flops=140.8e9,
+    kernel_overhead=5.0e-6,
+)
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Point-to-point interconnect model: cost = latency + bytes/bandwidth."""
+
+    name: str
+    latency: float      # s
+    bandwidth: float    # B/s per direction per node
+
+    def message_cost(self, nbytes: int) -> float:
+        return self.latency + nbytes / self.bandwidth
+
+
+FDR_INFINIBAND = NetworkSpec("Mellanox FDR Infiniband", latency=1.2e-6, bandwidth=6.8e9)
+GEMINI = NetworkSpec("Cray Gemini", latency=1.5e-6, bandwidth=4.7e9)
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A full platform description (one row block of Table I)."""
+
+    name: str
+    cpu: CpuSpec
+    gpu: DeviceSpec
+    nodes: int
+    cpus_per_node: str
+    gpus_per_node: int
+    cpu_ram_per_node: str
+    gpu_ram_per_node: str
+    interconnect: NetworkSpec
+    compiler: str
+    mpi: str
+    cuda_version: str
+
+    def table_rows(self) -> list[tuple[str, str]]:
+        """Rows of Table I for this machine."""
+        return [
+            ("Processor", self.cpu.name),
+            ("Clock", f"{self.cpu.clock_ghz} GHz"),
+            ("Accelerator", self.gpu.name),
+            ("Nodes", f"{self.nodes:,}"),
+            ("CPUs/node", self.cpus_per_node),
+            ("GPUs/node", str(self.gpus_per_node)),
+            ("CPU RAM/node", self.cpu_ram_per_node),
+            ("GPU RAM/node", self.gpu_ram_per_node),
+            ("Interconnect", self.interconnect.name),
+            ("Compiler", self.compiler),
+            ("MPI", self.mpi),
+            ("CUDA Version", self.cuda_version),
+        ]
+
+
+IPA = Machine(
+    name="IPA",
+    cpu=IPA_CPU_NODE,
+    gpu=K20X,
+    nodes=8,
+    cpus_per_node="2x 8 cores",
+    gpus_per_node=2,
+    cpu_ram_per_node="128 Gb",
+    gpu_ram_per_node="6 Gb",
+    interconnect=FDR_INFINIBAND,
+    compiler="Intel 13.1.163",
+    mpi="MVAPICH 1.9",
+    cuda_version="5.5",
+)
+
+TITAN = Machine(
+    name="Titan",
+    cpu=TITAN_CPU_NODE,
+    gpu=K20X,
+    nodes=18688,
+    cpus_per_node="1x 16 cores",
+    gpus_per_node=1,
+    cpu_ram_per_node="32 Gb",
+    gpu_ram_per_node="6 Gb",
+    interconnect=GEMINI,
+    compiler="Intel 13.1.3.192",
+    mpi="Cray MPT",
+    cuda_version="5.5",
+)

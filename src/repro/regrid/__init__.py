@@ -1,0 +1,1 @@
+"""Regridding: flagging, Berger-Rigoutsos clustering, load balance."""

@@ -1,0 +1,137 @@
+"""Berger–Rigoutsos clustering: tagged cells → refinement boxes.
+
+The classic signature-based recursive bisection (Berger & Rigoutsos, 1991):
+shrink to the tag bounding box; if the fill efficiency is too low, cut at
+a signature hole if one exists, otherwise at the strongest inflection of
+the signature Laplacian, otherwise bisect; recurse on both halves.  The
+returned boxes are disjoint and cover every tagged cell.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mesh.box import Box
+
+__all__ = ["cluster_tags", "efficiency"]
+
+
+def efficiency(points: np.ndarray, box: Box) -> float:
+    """Fraction of ``box`` cells that are tagged."""
+    return len(points) / box.size() if box.size() else 0.0
+
+
+def _bounding_box(points: np.ndarray) -> Box:
+    lo = points.min(axis=0)
+    hi = points.max(axis=0)
+    return Box(lo.tolist(), hi.tolist())
+
+
+def _signature(points: np.ndarray, box: Box, axis: int) -> np.ndarray:
+    """Tag counts per plane perpendicular to ``axis``."""
+    offsets = points[:, axis] - box.lower[axis]
+    return np.bincount(offsets, minlength=box.shape()[axis])
+
+
+def _find_hole(sig: np.ndarray, min_width: int) -> int | None:
+    """Index of the best zero plane to cut after, or None.
+
+    Only cuts keeping both halves at least ``min_width`` wide are allowed;
+    among candidates, prefer the one nearest the centre.
+    """
+    zeros = np.flatnonzero(sig == 0)
+    valid = zeros[(zeros >= min_width) & (zeros <= len(sig) - 1 - min_width)]
+    if len(valid) == 0:
+        return None
+    centre = (len(sig) - 1) / 2.0
+    return int(valid[np.argmin(np.abs(valid - centre))])
+
+
+def _find_inflection(sig: np.ndarray, min_width: int) -> tuple[int, int] | None:
+    """(cut index, strength) at the strongest Laplacian sign change."""
+    if len(sig) < 4:
+        return None
+    lap = sig[:-2] - 2 * sig[1:-1] + sig[2:]  # laplacian at interior planes
+    best = None
+    best_strength = 0
+    for i in range(len(lap) - 1):
+        if lap[i] * lap[i + 1] < 0:
+            cut = i + 1  # cut after plane cut (between planes cut and cut+1)
+            if cut < min_width or cut > len(sig) - 1 - min_width:
+                continue
+            strength = abs(int(lap[i]) - int(lap[i + 1]))
+            if strength > best_strength:
+                best_strength = strength
+                best = cut
+    return (best, best_strength) if best is not None else None
+
+
+def cluster_tags(
+    points: np.ndarray,
+    min_efficiency: float = 0.70,
+    min_size: int = 4,
+    max_levels_of_recursion: int = 64,
+) -> list[Box]:
+    """Cluster tagged cell indices (N x 2 int array) into boxes.
+
+    Guarantees: every tagged cell is inside exactly one returned box; the
+    boxes are pairwise disjoint; each box either meets the efficiency
+    threshold or could not be legally split further.
+    """
+    if len(points) == 0:
+        return []
+    points = np.asarray(points, dtype=np.int64)
+    out: list[Box] = []
+    _cluster(points, min_efficiency, min_size, max_levels_of_recursion, out)
+    return out
+
+
+def _cluster(points: np.ndarray, min_eff: float, min_size: int,
+             depth: int, out: list[Box]) -> None:
+    box = _bounding_box(points)
+    if depth <= 0 or efficiency(points, box) >= min_eff:
+        out.append(box)
+        return
+
+    shape = box.shape()
+    # Try a hole cut on the longer axis first, then the other.
+    axes = sorted(range(2), key=lambda a: -shape[a])
+    for axis in axes:
+        if shape[axis] < 2 * min_size:
+            continue
+        sig = _signature(points, box, axis)
+        hole = _find_hole(sig, min_size)
+        if hole is not None:
+            _split(points, box, axis, hole, min_eff, min_size, depth, out)
+            return
+    # No hole anywhere: strongest inflection across axes.
+    best = None
+    for axis in axes:
+        if shape[axis] < 2 * min_size:
+            continue
+        sig = _signature(points, box, axis)
+        found = _find_inflection(sig, min_size)
+        if found and (best is None or found[1] > best[2]):
+            best = (axis, found[0], found[1])
+    if best is not None:
+        _split(points, box, best[0], best[1] - 1, min_eff, min_size, depth, out)
+        return
+    # Fall back to bisecting the longest splittable axis.
+    for axis in axes:
+        if shape[axis] >= 2 * min_size:
+            _split(points, box, axis, shape[axis] // 2 - 1,
+                   min_eff, min_size, depth, out)
+            return
+    out.append(box)  # too small to split legally
+
+
+def _split(points: np.ndarray, box: Box, axis: int, after: int,
+           min_eff: float, min_size: int, depth: int, out: list[Box]) -> None:
+    """Cut the box after local plane index ``after`` and recurse."""
+    cut = box.lower[axis] + after
+    left_mask = points[:, axis] <= cut
+    left = points[left_mask]
+    right = points[~left_mask]
+    for part in (left, right):
+        if len(part):
+            _cluster(part, min_eff, min_size, depth - 1, out)

@@ -1,0 +1,239 @@
+"""Hierarchy regeneration: flag → cluster → rebuild → solution transfer.
+
+Implements the paper's three-step regridding procedure (§II): flagging
+(with the GPU tag-compression path from :mod:`repro.regrid.flagging`),
+clustering (Berger–Rigoutsos), and solution transfer from the old to the
+new hierarchy.  Proper nesting is maintained by augmenting each tag level
+with the buffered footprint of the next finer *new* level before
+clustering, so a covering cluster automatically nests its children.
+
+Host-side framework costs (tag gathering, replicated clustering, patch
+construction) are charged to the rank clocks — these are the serial
+fractions whose growth the weak-scaling study exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+from scipy import ndimage
+
+from ..mesh.box import Box
+from ..xfer.refine_schedule import FillSpec, RefineSchedule
+from .berger_rigoutsos import cluster_tags
+from .flagging import TagThresholds, flag_patch
+from .load_balance import assign_owners, chop_boxes
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..comm.simcomm import SimCommunicator
+    from ..mesh.hierarchy import PatchHierarchy
+    from ..mesh.patch_level import PatchLevel
+    from ..mesh.variables import VariableRegistry
+
+__all__ = ["RegridConfig", "Regridder"]
+
+# Host-side cost constants (seconds): replicated clustering work per tag
+# and per produced box, and per-patch level-construction overhead.
+CLUSTER_COST_PER_TAG = 2.0e-8
+CLUSTER_COST_PER_BOX = 2.0e-6
+PATCH_CONSTRUCTION_COST = 2.0e-5
+
+
+@dataclass
+class RegridConfig:
+    """Parameters of the regridding procedure."""
+
+    thresholds: TagThresholds = field(default_factory=TagThresholds)
+    min_efficiency: float = 0.70
+    min_patch_size: int = 4
+    #: None inherits the run-level max patch size (SimulationConfig)
+    max_patch_size: int | None = None
+    nesting_buffer: int = 1
+    tag_buffer: int = 2          # dilation of tags, protects moving features
+    regrid_interval: int = 5
+
+
+@dataclass
+class RegridStats:
+    """What the last regrid did (used by benchmarks and tests)."""
+
+    tags_per_level: dict = field(default_factory=dict)
+    boxes_per_level: dict = field(default_factory=dict)
+    cells_per_level: dict = field(default_factory=dict)
+
+
+class Regridder:
+    """Rebuilds the fine levels of a hierarchy from fresh tags."""
+
+    def __init__(
+        self,
+        hierarchy: "PatchHierarchy",
+        comm: "SimCommunicator",
+        factory,
+        variables: "VariableRegistry",
+        primary_specs: list[FillSpec],
+        boundary,
+        config: RegridConfig | None = None,
+    ):
+        self.hierarchy = hierarchy
+        self.comm = comm
+        self.factory = factory
+        self.variables = variables
+        self.primary_specs = primary_specs
+        self.boundary = boundary
+        self.config = config if config is not None else RegridConfig()
+        self.last_stats = RegridStats()
+
+    # -- tag collection --------------------------------------------------------
+
+    def _collect_tags(self, level: "PatchLevel") -> np.ndarray:
+        """Flag every patch of a level; return global (N, 2) tag indices."""
+        all_points = []
+        bytes_per_rank = [0] * self.comm.size
+        for patch in level:
+            rank = self.comm.rank(patch.owner)
+            tags = flag_patch(patch, rank, self.config.thresholds)
+            n_interior = tags.size
+            bytes_per_rank[patch.owner] += -(-n_interior // 8)  # packed bits
+            if tags.any():
+                pts = np.argwhere(tags)
+                pts[:, 0] += patch.box.lower[0]
+                pts[:, 1] += patch.box.lower[1]
+                all_points.append(pts)
+        # SAMRAI gathers tag boxes globally before clustering.
+        self.comm.allgather(bytes_per_rank)
+        if not all_points:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.concatenate(all_points)
+
+    def _buffer_tags(self, points: np.ndarray, extra_boxes: list[Box],
+                     domain: Box) -> np.ndarray:
+        """Dilate tags by the tag buffer and union in footprint boxes."""
+        buf = self.config.tag_buffer
+        if len(points) == 0 and not extra_boxes:
+            return points
+        # Rasterise into a window covering everything plus the dilation.
+        boxes = list(extra_boxes)
+        if len(points):
+            boxes.append(Box(points.min(axis=0).tolist(), points.max(axis=0).tolist()))
+        window = boxes[0]
+        for b in boxes[1:]:
+            window = window.bounding(b)
+        window = window.grow(buf).intersection(domain)
+        mask = np.zeros(tuple(window.shape()), dtype=bool)
+        if len(points):
+            inside = (
+                (points[:, 0] >= window.lower[0]) & (points[:, 0] <= window.upper[0])
+                & (points[:, 1] >= window.lower[1]) & (points[:, 1] <= window.upper[1])
+            )
+            p = points[inside]
+            mask[p[:, 0] - window.lower[0], p[:, 1] - window.lower[1]] = True
+        if buf > 0 and mask.any():
+            mask = ndimage.binary_dilation(mask, iterations=buf)
+        for b in extra_boxes:
+            bb = b.intersection(window)
+            if not bb.is_empty():
+                mask[bb.slices_in(window)] = True
+        pts = np.argwhere(mask)
+        pts[:, 0] += window.lower[0]
+        pts[:, 1] += window.lower[1]
+        return pts
+
+    # -- box generation -------------------------------------------------------
+
+    def generate_boxes(self) -> dict[int, list[Box]]:
+        """New fine-level boxes, keyed by level number (fine index space).
+
+        Processes tag levels from the second finest down to the coarsest
+        (§II), augmenting each with the buffered coarsened footprint of
+        the next finer new level so nesting holds by construction.
+        """
+        h = self.hierarchy
+        ratio = h.refinement_ratio
+        cfg = self.config
+        new_boxes: dict[int, list[Box]] = {}
+        stats = RegridStats()
+
+        finest_tag_level = min(h.num_levels - 1, h.max_levels - 2)
+        for l in range(finest_tag_level, -1, -1):
+            level = h.level(l)
+            points = self._collect_tags(level)
+            stats.tags_per_level[l] = len(points)
+            # Nesting augmentation: the next finer new level, coarsened to
+            # this level and grown by the nesting buffer, must be covered.
+            extra = []
+            if (l + 2) in new_boxes:
+                for b in new_boxes[l + 2]:
+                    extra.append(
+                        b.coarsen(ratio * ratio).grow(cfg.nesting_buffer)
+                        .intersection(level.domain)
+                    )
+            points = self._buffer_tags(points, extra, level.domain)
+            # Charge the replicated host-side clustering to every rank.
+            for r in self.comm.ranks:
+                r.cpu_charge(CLUSTER_COST_PER_TAG * len(points))
+            if len(points) == 0:
+                new_boxes[l + 1] = []
+                continue
+            boxes = cluster_tags(points, cfg.min_efficiency, cfg.min_patch_size)
+            boxes = [b.intersection(level.domain) for b in boxes]
+            fine = [b.refine(ratio) for b in boxes if not b.is_empty()]
+            fine = chop_boxes(fine, cfg.max_patch_size)
+            new_boxes[l + 1] = fine
+            stats.boxes_per_level[l + 1] = len(fine)
+            stats.cells_per_level[l + 1] = sum(b.size() for b in fine)
+            for r in self.comm.ranks:
+                r.cpu_charge(CLUSTER_COST_PER_BOX * len(fine))
+        self.last_stats = stats
+        return new_boxes
+
+    # -- hierarchy reconstruction -------------------------------------------------
+
+    def regrid(self, init_level_callback=None) -> RegridStats:
+        """Regenerate every level finer than the base, transferring data.
+
+        ``init_level_callback(level)`` is invoked for each rebuilt level
+        after the primary fields are transferred (the application uses it
+        to zero work arrays and recompute the EOS).
+        """
+        h = self.hierarchy
+        new_boxes = self.generate_boxes()
+        for lnum in sorted(new_boxes):
+            boxes = new_boxes[lnum]
+            if not boxes:
+                h.remove_finer_levels(lnum - 1)
+                break
+            self._remake_level(lnum, boxes, init_level_callback)
+        return self.last_stats
+
+    def _remake_level(self, lnum: int, boxes: list[Box], init_cb) -> None:
+        h = self.hierarchy
+        owners = assign_owners(boxes, self.comm.size)
+        old_level = h.level(lnum) if lnum < h.num_levels else None
+        level = h.make_level(lnum, boxes, owners)
+        level.allocate_all(self.variables, self.factory, self.comm)
+        for patch in level:
+            self.comm.rank(patch.owner).cpu_charge(PATCH_CONSTRUCTION_COST)
+        # Zero-fill all data so untouched work arrays are defined.
+        for patch in level:
+            for name in patch.data_names():
+                patch.data(name).fill(0.0)
+        coarse = h.level(lnum - 1)
+        # Interior solution transfer: old level where it existed, the new
+        # coarser level elsewhere.
+        RefineSchedule(
+            level, coarse, self.primary_specs, self.comm, self.factory,
+            boundary=None, src_level=old_level, interior=True,
+        ).fill()
+        if old_level is not None:
+            old_level.free_all()
+        h.set_level(level)
+        # Ghost fill + physical BCs so the next finer level can interpolate.
+        RefineSchedule(
+            level, coarse, self.primary_specs, self.comm, self.factory,
+            boundary=self.boundary,
+        ).fill()
+        if init_cb is not None:
+            init_cb(level)

@@ -1,0 +1,1 @@
+"""Utilities: virtual clocks, timers, checkpoint/restart, VTK output."""

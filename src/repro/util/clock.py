@@ -1,0 +1,35 @@
+"""Virtual clocks for modelled-time accounting.
+
+Every simulated rank has a host clock; every simulated GPU stream has its
+own timeline.  Work is *executed* functionally (NumPy) but *charged* to
+these clocks through the machine cost models, so benchmarks report the time
+composition the paper measures without the paper's hardware.
+"""
+
+from __future__ import annotations
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """A monotonically advancing virtual clock (seconds)."""
+
+    __slots__ = ("time",)
+
+    def __init__(self, start: float = 0.0):
+        self.time = float(start)
+
+    def advance(self, dt: float) -> float:
+        if dt < 0:
+            raise ValueError(f"cannot advance clock by negative {dt}")
+        self.time += dt
+        return self.time
+
+    def advance_to(self, t: float) -> float:
+        """Move forward to ``t`` if it is in the future; never move back."""
+        if t > self.time:
+            self.time = t
+        return self.time
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VirtualClock({self.time:.6g}s)"

@@ -1,0 +1,50 @@
+"""Named timers over virtual clocks.
+
+The paper reports runtime broken into categories (hydrodynamics,
+synchronisation, regridding, timestep); these timers accumulate virtual
+host-clock time per category per rank so the benchmarks can print the same
+breakdown.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .clock import VirtualClock
+
+__all__ = ["TimerRegistry"]
+
+
+class TimerRegistry:
+    """Accumulates virtual-time deltas into named buckets."""
+
+    def __init__(self, clock: VirtualClock):
+        self.clock = clock
+        self.totals: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+
+    @contextmanager
+    def time(self, name: str):
+        start = self.clock.time
+        try:
+            yield
+        finally:
+            delta = self.clock.time - start
+            self.totals[name] = self.totals.get(name, 0.0) + delta
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        return self.totals.get(name, 0.0)
+
+    def reset(self) -> None:
+        self.totals.clear()
+        self.counts.clear()
+
+    def merged_with(self, other: "TimerRegistry") -> dict[str, float]:
+        """Per-category maxima of two rank timers (critical-path style)."""
+        names = set(self.totals) | set(other.totals)
+        return {n: max(self.total(n), other.total(n)) for n in names}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(f"{k}={v:.4g}s" for k, v in sorted(self.totals.items()))
+        return f"TimerRegistry({inner})"

@@ -1,0 +1,1 @@
+"""Communication schedules: ghost fills, fine-to-coarse sync, transfers."""

@@ -1,0 +1,45 @@
+"""Tests for the AMR-savings diagnostic."""
+
+import pytest
+
+from repro import (
+    HostDataFactory,
+    LagrangianEulerianIntegrator,
+    SimulationConfig,
+    SodProblem,
+    make_communicator,
+)
+from repro.hydro.diagnostics import amr_savings
+
+
+def make_sim(max_levels):
+    comm = make_communicator("IPA", 1, gpus=False)
+    sim = LagrangianEulerianIntegrator(
+        SodProblem((32, 32)), comm, HostDataFactory(),
+        SimulationConfig(max_levels=max_levels, max_patch_size=64))
+    sim.initialise()
+    return sim
+
+
+class TestAmrSavings:
+    def test_uniform_mesh_no_savings(self):
+        s = amr_savings(make_sim(1).hierarchy)
+        assert s["savings_factor"] == pytest.approx(1.0)
+        assert s["fraction_refined"] == 1.0
+
+    def test_two_levels_save(self):
+        s = amr_savings(make_sim(2).hierarchy)
+        assert s["uniform_fine_cells"] == 64 * 64
+        assert s["savings_factor"] > 1.5
+        assert 0.0 < s["fraction_refined"] < 0.6
+
+    def test_three_levels_save_more(self):
+        s2 = amr_savings(make_sim(2).hierarchy)
+        s3 = amr_savings(make_sim(3).hierarchy)
+        assert s3["uniform_fine_cells"] == 128 * 128
+        assert s3["savings_factor"] > s2["savings_factor"]
+
+    def test_cells_used_consistent(self):
+        sim = make_sim(2)
+        s = amr_savings(sim.hierarchy)
+        assert s["cells_used"] == sim.total_cells()

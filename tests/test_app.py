@@ -1,0 +1,74 @@
+"""Tests for the application driver (RunConfig → RunResult)."""
+
+import pytest
+
+from repro.app import RunConfig, RunResult, build_simulation, run_simulation, scaled
+from repro.hydro.patch_integrator import NonResidentGpuPatchIntegrator
+from repro.hydro.problems import SodProblem
+
+
+def small(**kw):
+    base = dict(problem=SodProblem((16, 16)), max_levels=2,
+                max_patch_size=16, max_steps=3)
+    base.update(kw)
+    return RunConfig(**base)
+
+
+class TestBuild:
+    def test_gpu_resident_build(self):
+        sim = build_simulation(small(use_gpu=True, resident=True))
+        assert sim.comm.rank(0).device is not None
+        assert sim.factory.location == "device"
+
+    def test_cpu_build(self):
+        sim = build_simulation(small(use_gpu=False))
+        assert sim.comm.rank(0).device is None
+        assert sim.factory.location == "host"
+
+    def test_nonresident_build(self):
+        sim = build_simulation(small(use_gpu=True, resident=False))
+        assert isinstance(sim.patch_integrator, NonResidentGpuPatchIntegrator)
+        assert sim.factory.location == "host"  # data stays on the host
+        assert sim.comm.rank(0).device is not None
+
+    def test_machine_selection(self):
+        sim = build_simulation(small(machine="Titan", nranks=2))
+        assert sim.comm.size == 2
+        assert sim.comm.network.name == "Cray Gemini"
+
+
+class TestRun:
+    def test_run_produces_measurements(self):
+        res = run_simulation(small())
+        assert isinstance(res, RunResult)
+        assert res.steps == 3
+        assert res.runtime > 0
+        assert res.cells > 16 * 16
+        assert res.grind_time > 0
+        assert res.timers["hydro"] > 0
+
+    def test_end_time_budget(self):
+        res = run_simulation(small(max_steps=None, end_time=0.02))
+        assert res.sim.time >= 0.02
+
+    def test_nonresident_slower_than_resident(self):
+        """The headline ablation: copy-per-kernel loses to resident."""
+        res_resident = run_simulation(small(use_gpu=True, resident=True,
+                                            max_steps=5))
+        res_copying = run_simulation(small(use_gpu=True, resident=False,
+                                           max_steps=5))
+        assert res_copying.runtime > res_resident.runtime
+
+    def test_nonresident_moves_far_more_pcie_bytes(self):
+        res_r = run_simulation(small(use_gpu=True, resident=True, max_steps=5))
+        res_n = run_simulation(small(use_gpu=True, resident=False, max_steps=5))
+        def pcie(res):
+            d = res.sim.comm.rank(0).device.stats
+            return d.bytes_d2h + d.bytes_h2d
+        assert pcie(res_n) > 10 * pcie(res_r)
+
+    def test_scaled_override(self):
+        cfg = small()
+        cfg2 = scaled(cfg, nranks=4)
+        assert cfg2.nranks == 4 and cfg.nranks == 1
+        assert cfg2.problem is cfg.problem

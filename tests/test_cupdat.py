@@ -1,0 +1,167 @@
+"""Tests for the GPU-resident CudaPatchData library (paper §IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.cupdat.cuda_array_data import CudaArrayData
+from repro.cupdat.cuda_cell_data import CudaCellData
+from repro.cupdat.cuda_node_data import CudaNodeData
+from repro.cupdat.cuda_side_data import CudaSideData
+from repro.gpu.device import K20X, Device
+from repro.gpu.errors import MemorySpaceError
+from repro.mesh.box import Box
+from repro.util.clock import VirtualClock
+
+BOX = Box([0, 0], [7, 7])
+
+
+@pytest.fixture
+def device():
+    return Device(K20X, VirtualClock())
+
+
+class TestCudaArrayData:
+    def test_residency_enforced(self, device):
+        ad = CudaArrayData(Box([0, 0], [3, 3]), device)
+        with pytest.raises(MemorySpaceError):
+            ad.full_view()
+
+    def test_fill_is_kernel(self, device):
+        ad = CudaArrayData(Box([0, 0], [3, 3]), device)
+        n0 = device.stats.kernel_launches
+        ad.fill(2.0)
+        assert device.stats.kernel_launches == n0 + 1
+        assert np.all(ad.to_host_array() == 2.0)
+
+    def test_copy_from_same_device(self, device):
+        a = CudaArrayData(Box([0, 0], [3, 3]), device, fill=5.0)
+        b = CudaArrayData(Box([0, 0], [3, 3]), device, fill=0.0)
+        b.copy_from(a, Box([0, 0], [1, 3]))
+        host = b.to_host_array()
+        assert host[:2].sum() == 40.0 and host[2:].sum() == 0.0
+
+    def test_cross_device_copy_rejected(self, device):
+        other = Device(K20X, VirtualClock())
+        a = CudaArrayData(Box([0, 0], [1, 1]), device, fill=1.0)
+        b = CudaArrayData(Box([0, 0], [1, 1]), other, fill=0.0)
+        with pytest.raises(ValueError):
+            b.copy_from(a, Box([0, 0], [1, 1]))
+
+    def test_pack_path_crosses_pcie_once(self, device):
+        """Fig. 4: pack kernel -> contiguous device buffer -> D2H."""
+        ad = CudaArrayData(Box([0, 0], [7, 7]), device, fill=3.0)
+        region = Box([2, 2], [5, 5])
+        d2h0 = device.stats.bytes_d2h
+        k0 = device.stats.launches_by_name.get("pdat.pack", 0)
+        buf = ad.pack_to_host(region)
+        assert device.stats.launches_by_name["pdat.pack"] == k0 + 1
+        assert device.stats.bytes_d2h - d2h0 == region.size() * 8
+        assert buf.shape == (16,)
+        assert np.all(buf == 3.0)
+
+    def test_unpack_path(self, device):
+        ad = CudaArrayData(Box([0, 0], [7, 7]), device, fill=0.0)
+        region = Box([1, 1], [2, 2])
+        h2d0 = device.stats.bytes_h2d
+        ad.unpack_from_host(np.arange(4.0), region)
+        assert device.stats.bytes_h2d - h2d0 == 32
+        host = ad.to_host_array()
+        assert host[1, 1] == 0.0 or True  # region (1,1)-(2,2) maps below
+        assert np.array_equal(host[1:3, 1:3].reshape(-1), np.arange(4.0))
+
+    def test_unpack_size_mismatch(self, device):
+        ad = CudaArrayData(Box([0, 0], [3, 3]), device)
+        with pytest.raises(ValueError):
+            ad.unpack_from_host(np.zeros(5), Box([0, 0], [1, 1]))
+
+    def test_pack_unpack_roundtrip(self, device):
+        src = CudaArrayData(Box([-2, -2], [5, 5]), device)
+        data = np.random.default_rng(0).random(tuple(src.frame.shape()))
+        src.from_host_array(data)
+        dst = CudaArrayData(Box([-2, -2], [5, 5]), device, fill=0.0)
+        region = Box([-1, 0], [3, 2])
+        dst.unpack_from_host(src.pack_to_host(region), region)
+        out = dst.to_host_array()
+        sl = region.slices_in(src.frame)
+        assert np.array_equal(out[sl], data[sl])
+
+    def test_free_releases_memory(self, device):
+        ad = CudaArrayData(Box([0, 0], [31, 31]), device)
+        assert device.bytes_allocated > 0
+        ad.free()
+        assert device.bytes_allocated == 0
+
+
+@pytest.mark.parametrize("cls,kwargs", [
+    (CudaCellData, {}),
+    (CudaNodeData, {}),
+    (CudaSideData, {"axis": 0}),
+    (CudaSideData, {"axis": 1}),
+])
+class TestCudaCentrings:
+    def test_resident_flag(self, device, cls, kwargs):
+        pd = cls(BOX, 2, device=device, **kwargs) if "axis" not in kwargs else \
+            cls(BOX, 2, kwargs["axis"], device)
+        assert pd.RESIDENT
+
+    def test_stream_roundtrip(self, device, cls, kwargs):
+        if "axis" in kwargs:
+            a = cls(BOX, 2, kwargs["axis"], device)
+            b = cls(BOX, 2, kwargs["axis"], device)
+        else:
+            a = cls(BOX, 2, device)
+            b = cls(BOX, 2, device)
+        frame_shape = tuple(a.get_ghost_box().shape())
+        data = np.random.default_rng(1).random(frame_shape)
+        a.from_host(data)
+        b.fill(0.0)
+        region = Box([0, 0], [3, 3])
+        b.unpack_stream(a.pack_stream(region), region)
+        sl = region.slices_in(a.get_ghost_box())
+        assert np.array_equal(b.to_host()[sl], data[sl])
+
+    def test_copy_is_device_kernel(self, device, cls, kwargs):
+        if "axis" in kwargs:
+            a = cls(BOX, 2, kwargs["axis"], device)
+            b = cls(BOX, 2, kwargs["axis"], device)
+        else:
+            a = cls(BOX, 2, device)
+            b = cls(BOX, 2, device)
+        a.fill(9.0)
+        pcie = device.stats.bytes_d2h + device.stats.bytes_h2d
+        b.copy(a, Box([0, 0], [2, 2]))
+        # on-device copy must not touch the PCIe bus
+        assert device.stats.bytes_d2h + device.stats.bytes_h2d == pcie
+
+    def test_restart_roundtrip(self, device, cls, kwargs):
+        if "axis" in kwargs:
+            a = cls(BOX, 2, kwargs["axis"], device)
+            b = cls(BOX, 2, kwargs["axis"], device)
+        else:
+            a = cls(BOX, 2, device)
+            b = cls(BOX, 2, device)
+        data = np.random.default_rng(2).random(tuple(a.get_ghost_box().shape()))
+        a.from_host(data)
+        db = {}
+        a.put_to_restart(db)
+        b.fill(0.0)
+        b.get_from_restart(db)
+        assert np.array_equal(b.to_host(), data)
+
+
+class TestResidencyAccounting:
+    def test_memory_model_tracks_full_field_set(self, device):
+        """18 CleverLeaf fields on a 64x64 patch fit easily in 6 GB."""
+        from repro.hydro.fields import declare_fields
+        from repro.mesh.variables import CudaDataFactory
+
+        class FakeRank:
+            pass
+
+        rank = FakeRank()
+        rank.device = device
+        factory = CudaDataFactory()
+        box = Box([0, 0], [63, 63])
+        pds = [factory.allocate(v, box, rank) for v in declare_fields()]
+        assert device.bytes_allocated == sum(p.data.darr.nbytes for p in pds)
+        assert device.bytes_allocated < K20X.memory_bytes

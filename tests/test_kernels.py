@@ -1,0 +1,289 @@
+"""Unit tests for the CloverLeaf hydro kernels (pure NumPy level)."""
+
+import numpy as np
+import pytest
+
+from repro.hydro import kernels as K
+
+NX = NY = 8
+G = 2
+
+
+def cell(fill=0.0):
+    return np.full((NX + 2 * G, NY + 2 * G), fill)
+
+
+def node(fill=0.0):
+    return np.full((NX + 1 + 2 * G, NY + 1 + 2 * G), fill)
+
+
+def side_x(fill=0.0):
+    return np.full((NX + 1 + 2 * G, NY + 2 * G), fill)
+
+
+def side_y(fill=0.0):
+    return np.full((NX + 2 * G, NY + 1 + 2 * G), fill)
+
+
+DX = DY = 0.1
+
+
+class TestWin:
+    def test_window_view_writable(self):
+        a = cell()
+        K.win(a, G, G, NX, NY)[...] = 1.0
+        assert a.sum() == NX * NY
+
+    def test_out_of_bounds_raises(self):
+        with pytest.raises(IndexError):
+            K.win(cell(), G, G, NX + 10, NY)
+
+    def test_negative_offset_raises(self):
+        with pytest.raises(IndexError):
+            K.win(cell(), -1, 0, 2, 2)
+
+
+class TestIdealGas:
+    def test_pressure_value(self):
+        d, e = cell(2.0), cell(3.0)
+        p, cs = cell(), cell()
+        K.ideal_gas(d, e, p, cs, NX, NY, G)
+        assert np.allclose(K.win(p, G, G, NX, NY), 0.4 * 2.0 * 3.0)
+
+    def test_soundspeed_value(self):
+        d, e = cell(1.0), cell(2.5)
+        p, cs = cell(), cell()
+        K.ideal_gas(d, e, p, cs, NX, NY, G)
+        # p = 1.0, cs = sqrt(1.4 * 1 / 1)
+        assert np.allclose(K.win(cs, G, G, NX, NY), np.sqrt(1.4))
+
+    def test_ext_covers_ghosts(self):
+        d, e = cell(1.0), cell(1.0)
+        p, cs = cell(-1.0), cell(-1.0)
+        K.ideal_gas(d, e, p, cs, NX, NY, G, ext=2)
+        assert np.allclose(p, 0.4)
+
+    def test_ext0_leaves_ghosts(self):
+        d, e = cell(1.0), cell(1.0)
+        p = cell(-1.0)
+        K.ideal_gas(d, e, p, cell(), NX, NY, G, ext=0)
+        assert p[0, 0] == -1.0
+        assert p[G, G] == pytest.approx(0.4)
+
+
+class TestViscosity:
+    def test_zero_for_uniform_flow(self):
+        q = cell(-1.0)
+        K.viscosity(cell(1.0), cell(1.0), q, node(3.0), node(0.0),
+                    NX, NY, G, DX, DY)
+        assert np.all(K.win(q, G, G, NX, NY) == 0.0)
+
+    def test_zero_in_expansion(self):
+        """div >= 0 (expanding) must give q = 0."""
+        u = node()
+        i = np.arange(u.shape[0])[:, None]
+        u[...] = 0.1 * i  # du/dx > 0
+        q = cell(-1.0)
+        K.viscosity(cell(1.0), cell(1.0), q, u, node(0.0), NX, NY, G, DX, DY)
+        assert np.all(K.win(q, G, G, NX, NY) == 0.0)
+
+    def test_positive_in_compression(self):
+        u = node()
+        i = np.arange(u.shape[0])[:, None]
+        u[...] = -0.5 * i  # compressing
+        p = cell()
+        i_c = np.arange(p.shape[0])[:, None]
+        p[...] = 1.0 + 0.1 * i_c  # pressure gradient present
+        q = cell()
+        K.viscosity(cell(1.0), p, q, u, node(0.0), NX, NY, G, DX, DY)
+        assert np.all(K.win(q, G, G, NX, NY) > 0.0)
+
+
+class TestCalcDt:
+    def test_sound_speed_limit(self):
+        dt = K.calc_dt(cell(1.0), cell(2.0), cell(0.0), node(0.0), node(0.0),
+                       NX, NY, G, DX, DY)
+        assert dt == pytest.approx(0.7 * DX / 2.0)
+
+    def test_velocity_reduces_dt(self):
+        dt0 = K.calc_dt(cell(1.0), cell(1.0), cell(0.0), node(0.0), node(0.0),
+                        NX, NY, G, DX, DY)
+        dt1 = K.calc_dt(cell(1.0), cell(1.0), cell(0.0), node(50.0), node(0.0),
+                        NX, NY, G, DX, DY)
+        assert dt1 < dt0
+
+    def test_viscosity_reduces_dt(self):
+        dt0 = K.calc_dt(cell(1.0), cell(1.0), cell(0.0), node(0.0), node(0.0),
+                        NX, NY, G, DX, DY)
+        dt1 = K.calc_dt(cell(1.0), cell(1.0), cell(10.0), node(0.0), node(0.0),
+                        NX, NY, G, DX, DY)
+        assert dt1 < dt0
+
+
+class TestPdv:
+    def _state(self):
+        return dict(density0=cell(1.0), density1=cell(), energy0=cell(2.0),
+                    energy1=cell(), pressure=cell(0.8), visc=cell(0.0))
+
+    def test_static_flow_is_identity(self):
+        s = self._state()
+        K.pdv(False, 0.01, s["density0"], s["density1"], s["energy0"],
+              s["energy1"], s["pressure"], s["visc"],
+              node(0.0), node(0.0), node(0.0), node(0.0), NX, NY, G, DX, DY)
+        assert np.allclose(K.win(s["density1"], G, G, NX, NY), 1.0)
+        assert np.allclose(K.win(s["energy1"], G, G, NX, NY), 2.0)
+
+    def test_compression_raises_density_and_energy(self):
+        s = self._state()
+        u = node()
+        i = np.arange(u.shape[0])[:, None]
+        u[...] = -0.1 * (i - G)  # convergent flow
+        K.pdv(False, 0.01, s["density0"], s["density1"], s["energy0"],
+              s["energy1"], s["pressure"], s["visc"],
+              u, node(0.0), u, node(0.0), NX, NY, G, DX, DY)
+        assert np.all(K.win(s["density1"], G, G, NX, NY) > 1.0)
+        assert np.all(K.win(s["energy1"], G, G, NX, NY) > 2.0)
+
+    def test_predictor_is_half_step(self):
+        sa, sb = self._state(), self._state()
+        u = node()
+        i = np.arange(u.shape[0])[:, None]
+        u[...] = -0.01 * (i - G)
+        zero = node(0.0)
+        K.pdv(True, 0.02, sa["density0"], sa["density1"], sa["energy0"],
+              sa["energy1"], sa["pressure"], sa["visc"], u, zero, zero, zero,
+              NX, NY, G, DX, DY)
+        K.pdv(False, 0.01, sb["density0"], sb["density1"], sb["energy0"],
+              sb["energy1"], sb["pressure"], sb["visc"], u, zero, u, zero,
+              NX, NY, G, DX, DY)
+        assert np.allclose(sa["density1"], sb["density1"])
+
+
+class TestAccelerate:
+    def test_no_gradient_no_acceleration(self):
+        u1, v1 = node(), node()
+        K.accelerate(0.01, cell(1.0), cell(5.0), cell(0.0),
+                     node(1.0), node(2.0), u1, v1, NX, NY, G, DX, DY)
+        assert np.allclose(K.win(u1, G, G, NX + 1, NY + 1), 1.0)
+        assert np.allclose(K.win(v1, G, G, NX + 1, NY + 1), 2.0)
+
+    def test_pressure_gradient_accelerates_toward_low(self):
+        p = cell()
+        i = np.arange(p.shape[0])[:, None]
+        p[...] = 1.0 + 0.1 * i  # increasing in +x
+        u1, v1 = node(), node()
+        K.accelerate(0.01, cell(1.0), p, cell(0.0), node(0.0), node(0.0),
+                     u1, v1, NX, NY, G, DX, DY)
+        assert np.all(K.win(u1, G, G, NX + 1, NY + 1) < 0.0)  # pushed in -x
+        assert np.allclose(K.win(v1, G, G, NX + 1, NY + 1), 0.0)
+
+    def test_viscosity_gradient_also_accelerates(self):
+        q = cell()
+        i = np.arange(q.shape[0])[:, None]
+        q[...] = 0.1 * i
+        u1, v1 = node(), node()
+        K.accelerate(0.01, cell(1.0), cell(1.0), q, node(0.0), node(0.0),
+                     u1, v1, NX, NY, G, DX, DY)
+        assert np.all(K.win(u1, G, G, NX + 1, NY + 1) < 0.0)
+
+
+class TestFluxCalc:
+    def test_uniform_velocity_flux(self):
+        fx, fy = side_x(), side_y()
+        K.flux_calc(0.01, node(2.0), node(0.0), node(2.0), node(0.0),
+                    fx, fy, NX, NY, G, DX, DY)
+        # vol_flux_x = dt * xarea * u = 0.01 * 0.1 * 2
+        assert np.allclose(K.win(fx, G, G, NX + 1, NY), 0.002)
+        assert np.allclose(K.win(fy, G, G, NX, NY + 1), 0.0)
+
+
+class TestAdvection:
+    def _arrays(self):
+        return dict(
+            density1=cell(1.0), energy1=cell(1.0),
+            vol_flux_x=side_x(0.0), vol_flux_y=side_y(0.0),
+            mass_flux_x=side_x(0.0), mass_flux_y=side_y(0.0),
+            pre_vol=cell(), post_vol=cell(), ener_flux=cell(),
+        )
+
+    def test_no_flux_is_identity(self):
+        a = self._arrays()
+        d_before = a["density1"].copy()
+        K.advec_cell(0, 1, a["density1"], a["energy1"], a["vol_flux_x"],
+                     a["vol_flux_y"], a["mass_flux_x"], a["mass_flux_y"],
+                     a["pre_vol"], a["post_vol"], a["ener_flux"],
+                     NX, NY, G, DX, DY)
+        assert np.allclose(a["density1"], d_before)
+
+    def test_uniform_advection_conserves_mass(self):
+        """Uniform flux through a uniform field changes nothing."""
+        a = self._arrays()
+        a["vol_flux_x"][...] = 1e-4
+        K.advec_cell(0, 1, a["density1"], a["energy1"], a["vol_flux_x"],
+                     a["vol_flux_y"], a["mass_flux_x"], a["mass_flux_y"],
+                     a["pre_vol"], a["post_vol"], a["ener_flux"],
+                     NX, NY, G, DX, DY)
+        assert np.allclose(K.win(a["density1"], G, G, NX, NY), 1.0)
+        assert np.allclose(K.win(a["energy1"], G, G, NX, NY), 1.0)
+
+    def test_mass_flux_is_upwind_density(self):
+        a = self._arrays()
+        d = a["density1"]
+        d[:G + 4, :] = 2.0  # denser on the left
+        a["vol_flux_x"][...] = 1e-4  # flowing right: donor is the left cell
+        K.advec_cell(0, 1, d, a["energy1"], a["vol_flux_x"], a["vol_flux_y"],
+                     a["mass_flux_x"], a["mass_flux_y"], a["pre_vol"],
+                     a["post_vol"], a["ener_flux"], NX, NY, G, DX, DY)
+        mf = K.win(a["mass_flux_x"], G, G, NX + 1, NY)
+        assert mf[0, 0] == pytest.approx(1e-4 * 2.0)      # deep in dense side
+        assert mf[-1, -1] == pytest.approx(1e-4 * 1.0)    # light side
+
+    def test_interior_mass_conserved_in_closed_box(self):
+        """advec_cell conserves sum(rho*pre_vol) up to boundary fluxes."""
+        rng = np.random.default_rng(0)
+        a = self._arrays()
+        a["density1"][...] = 1.0 + 0.2 * rng.random(a["density1"].shape)
+        a["vol_flux_x"][...] = 1e-4 * rng.standard_normal(a["vol_flux_x"].shape)
+        # zero flux on the interior boundary faces -> closed system
+        a["vol_flux_x"][G, :] = 0.0
+        a["vol_flux_x"][G + NX, :] = 0.0
+        a["vol_flux_y"][...] = 0.0
+        d = a["density1"]
+        vol = DX * DY
+        # after the sweep, mass = sum(rho' * advec_vol); the conserved
+        # quantity entering the sweep is sum(rho * pre_vol)
+        vfl0 = K.win(a["vol_flux_x"], G, G, NX, NY)
+        vfr0 = K.win(a["vol_flux_x"], G + 1, G, NX, NY)
+        mass_before = (K.win(d, G, G, NX, NY) * (vol + vfr0 - vfl0)).sum()
+        K.advec_cell(0, 2, d, a["energy1"], a["vol_flux_x"], a["vol_flux_y"],
+                     a["mass_flux_x"], a["mass_flux_y"], a["pre_vol"],
+                     a["post_vol"], a["ener_flux"], NX, NY, G, DX, DY)
+        # after a sweep-2 x advection, mass = sum(rho * advec_vol); with
+        # closed boundaries advec_vol sums to the same total volume
+        pv = K.win(a["pre_vol"], G, G, NX, NY)
+        vfl = K.win(a["vol_flux_x"], G, G, NX, NY)
+        vfr = K.win(a["vol_flux_x"], G + 1, G, NX, NY)
+        mass_after = (K.win(d, G, G, NX, NY) * (pv + vfl - vfr)).sum()
+        assert mass_after == pytest.approx(mass_before, rel=1e-12)
+
+    def test_advec_mom_uniform_velocity_preserved(self):
+        a = self._arrays()
+        vel = node(3.0)
+        a["mass_flux_x"][...] = 1e-4
+        a["vol_flux_x"][...] = 1e-4
+        K.advec_mom(0, 1, vel, a["density1"], a["vol_flux_x"], a["vol_flux_y"],
+                    a["mass_flux_x"], a["mass_flux_y"], node(), node(), node(),
+                    node(), a["pre_vol"], a["post_vol"], NX, NY, G, DX, DY)
+        assert np.allclose(K.win(vel, G, G, NX + 1, NY + 1), 3.0)
+
+
+class TestResetField:
+    def test_copies_interiors_only(self):
+        d0, d1 = cell(0.0), cell(1.0)
+        e0, e1 = cell(0.0), cell(2.0)
+        u0, u1 = node(0.0), node(3.0)
+        v0, v1 = node(0.0), node(4.0)
+        K.reset_field(d0, d1, e0, e1, u0, u1, v0, v1, NX, NY, G)
+        assert np.all(K.win(d0, G, G, NX, NY) == 1.0)
+        assert np.all(K.win(u0, G, G, NX + 1, NY + 1) == 3.0)
+        assert d0[0, 0] == 0.0  # ghosts untouched

@@ -1,0 +1,122 @@
+"""Tests for batched message-stream pack/unpack/copy (xfer.message)."""
+
+import numpy as np
+import pytest
+
+from repro.comm.simcomm import SimCommunicator
+from repro.cupdat.cuda_cell_data import CudaCellData
+from repro.cupdat.cuda_node_data import CudaNodeData
+from repro.gpu.device import K20X
+from repro.mesh.box import Box
+from repro.pdat.cell_data import CellData
+from repro.pdat.node_data import NodeData
+from repro.perf.machines import FDR_INFINIBAND, IPA_CPU_NODE
+from repro.xfer.message import (
+    batch_size_bytes,
+    copy_batch_local,
+    pack_batch,
+    unpack_batch,
+)
+
+BOX = Box([0, 0], [7, 7])
+
+
+@pytest.fixture
+def comm():
+    return SimCommunicator(2, IPA_CPU_NODE, FDR_INFINIBAND, K20X)
+
+
+def make_host_batch():
+    rng = np.random.default_rng(0)
+    c = CellData(BOX, 2)
+    c.data.array[...] = rng.random(c.data.array.shape)
+    n = NodeData(BOX, 2)
+    n.data.array[...] = rng.random(n.data.array.shape)
+    return [(c, Box([0, 0], [3, 3])), (n, Box([2, 2], [6, 6]))]
+
+
+class TestHostBatches:
+    def test_size(self):
+        items = make_host_batch()
+        assert batch_size_bytes(items) == (16 + 25) * 8
+
+    def test_pack_unpack_roundtrip(self, comm):
+        items = make_host_batch()
+        buf = pack_batch(items, comm.rank(0))
+        assert buf.size == 16 + 25
+        dst = [(CellData(BOX, 2, fill=0.0), items[0][1]),
+               (NodeData(BOX, 2, fill=0.0), items[1][1])]
+        unpack_batch(buf, dst, comm.rank(1))
+        for (src_pd, region), (dst_pd, _) in zip(items, dst):
+            assert np.array_equal(dst_pd.view(region), src_pd.view(region))
+
+    def test_unpack_size_mismatch(self, comm):
+        dst = [(CellData(BOX, 2, fill=0.0), Box([0, 0], [1, 1]))]
+        with pytest.raises(ValueError):
+            unpack_batch(np.zeros(99), dst, comm.rank(0))
+
+    def test_pack_is_one_charged_pass(self, comm):
+        items = make_host_batch()
+        t0 = comm.rank(0).clock.time
+        pack_batch(items, comm.rank(0))
+        # exactly one kernel_overhead charge (not one per item)
+        cost = comm.rank(0).clock.time - t0
+        assert cost < 2 * IPA_CPU_NODE.kernel_overhead + 1e-6
+
+
+class TestDeviceBatches:
+    def make_device_batch(self, device):
+        rng = np.random.default_rng(1)
+        c = CudaCellData(BOX, 2, device)
+        c.from_host(rng.random(tuple(c.get_ghost_box().shape())))
+        n = CudaNodeData(BOX, 2, device)
+        n.from_host(rng.random(tuple(n.get_ghost_box().shape())))
+        return [(c, Box([0, 0], [3, 3])), (n, Box([2, 2], [6, 6]))]
+
+    def test_one_kernel_one_transfer(self, comm):
+        device = comm.rank(0).device
+        items = self.make_device_batch(device)
+        k0 = device.stats.launches_by_name.get("pdat.pack", 0)
+        d0 = device.stats.transfers_d2h
+        pack_batch(items, comm.rank(0))
+        assert device.stats.launches_by_name["pdat.pack"] == k0 + 1
+        assert device.stats.transfers_d2h == d0 + 1
+
+    def test_roundtrip_across_devices(self, comm):
+        d0, d1 = comm.rank(0).device, comm.rank(1).device
+        items = self.make_device_batch(d0)
+        buf = pack_batch(items, comm.rank(0))
+        dst = [(CudaCellData(BOX, 2, d1, fill=0.0), items[0][1]),
+               (CudaNodeData(BOX, 2, d1, fill=0.0), items[1][1])]
+        unpack_batch(buf, dst, comm.rank(1))
+        for (src_pd, region), (dst_pd, _) in zip(items, dst):
+            sl = region.slices_in(src_pd.get_ghost_box())
+            # frames differ between cell and node; compare region contents
+            src_full = src_pd.to_host()
+            dst_full = dst_pd.to_host()
+            assert np.array_equal(
+                dst_full[region.slices_in(dst_pd.get_ghost_box())],
+                src_full[sl],
+            )
+
+
+class TestLocalCopyBatch:
+    def test_host_fused_copy(self, comm):
+        a = CellData(BOX, 2, fill=1.0)
+        b = CellData(BOX, 2, fill=2.0)
+        dst = CellData(BOX, 2, fill=0.0)
+        items = [(dst, a, Box([0, 0], [3, 7])), (dst, b, Box([4, 0], [7, 7]))]
+        copy_batch_local(items, comm.rank(0))
+        assert np.all(dst.view(Box([0, 0], [3, 7])) == 1.0)
+        assert np.all(dst.view(Box([4, 0], [7, 7])) == 2.0)
+
+    def test_device_fused_copy_is_single_launch(self, comm):
+        device = comm.rank(0).device
+        a = CudaCellData(BOX, 2, device, fill=3.0)
+        dst = CudaCellData(BOX, 2, device, fill=0.0)
+        items = [(dst, a, Box([0, 0], [1, 7])), (dst, a, Box([6, 0], [7, 7]))]
+        k0 = device.stats.launches_by_name.get("pdat.copy", 0)
+        copy_batch_local(items, comm.rank(0))
+        assert device.stats.launches_by_name["pdat.copy"] == k0 + 1
+        full = dst.to_host()
+        assert full[2, 2] == 3.0 and full[9, 5] == 3.0 and full[5, 5] == 0.0

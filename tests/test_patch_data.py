@@ -1,0 +1,154 @@
+"""Tests for host patch data: ArrayData and the three centrings."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mesh.box import Box
+from repro.pdat.array_data import ArrayData
+from repro.pdat.cell_data import CellData
+from repro.pdat.node_data import NodeData
+from repro.pdat.patch_data import cell_frame, node_frame, side_frame
+from repro.pdat.side_data import SideData
+
+BOX = Box([0, 0], [7, 7])
+
+
+class TestFrames:
+    def test_cell_frame(self):
+        assert cell_frame(BOX, 2) == Box([-2, -2], [9, 9])
+
+    def test_node_frame(self):
+        assert node_frame(BOX, 2) == Box([-2, -2], [10, 10])
+
+    def test_side_frame_x(self):
+        assert side_frame(BOX, 2, 0) == Box([-2, -2], [10, 9])
+
+    def test_side_frame_y(self):
+        assert side_frame(BOX, 2, 1) == Box([-2, -2], [9, 10])
+
+
+class TestArrayData:
+    def test_shape_matches_frame(self):
+        ad = ArrayData(Box([-1, -1], [4, 4]))
+        assert ad.array.shape == (6, 6)
+
+    def test_fill_and_view(self):
+        ad = ArrayData(Box([0, 0], [3, 3]), fill=0.0)
+        ad.fill(5.0, Box([1, 1], [2, 2]))
+        assert ad.array.sum() == 20.0
+        assert ad.view(Box([1, 1], [1, 1]))[0, 0] == 5.0
+
+    def test_copy_from(self):
+        a = ArrayData(Box([0, 0], [3, 3]), fill=1.0)
+        b = ArrayData(Box([0, 0], [3, 3]), fill=0.0)
+        b.copy_from(a, Box([0, 0], [1, 3]))
+        assert b.array[:2].sum() == 8.0
+        assert b.array[2:].sum() == 0.0
+
+    def test_copy_with_shift(self):
+        a = ArrayData(Box([0, 0], [3, 3]))
+        a.array[...] = np.arange(16).reshape(4, 4)
+        b = ArrayData(Box([0, 0], [3, 3]), fill=0.0)
+        b.copy_from(a, Box([0, 0], [0, 3]), src_shift=(2, 0))
+        assert np.array_equal(b.array[0], a.array[2])
+
+    def test_pack_unpack_roundtrip(self):
+        a = ArrayData(Box([-1, -1], [4, 4]))
+        a.array[...] = np.random.default_rng(0).random(a.array.shape)
+        region = Box([0, 1], [3, 2])
+        buf = a.pack(region)
+        b = ArrayData(Box([-1, -1], [4, 4]), fill=0.0)
+        b.unpack(buf, region)
+        assert np.array_equal(b.view(region), a.view(region))
+
+    def test_unpack_size_mismatch(self):
+        a = ArrayData(Box([0, 0], [3, 3]))
+        with pytest.raises(ValueError):
+            a.unpack(np.zeros(3), Box([0, 0], [1, 1]))
+
+
+@pytest.mark.parametrize("cls,kwargs,extra", [
+    (CellData, {}, (0, 0)),
+    (NodeData, {}, (1, 1)),
+    (SideData, {"axis": 0}, (1, 0)),
+    (SideData, {"axis": 1}, (0, 1)),
+])
+class TestCentrings:
+    def make(self, cls, kwargs, ghosts=2):
+        return cls(BOX, ghosts, **kwargs)
+
+    def test_storage_shape(self, cls, kwargs, extra):
+        pd = self.make(cls, kwargs)
+        assert tuple(pd.get_ghost_box().shape()) == (8 + 4 + extra[0], 8 + 4 + extra[1])
+
+    def test_interior_shape(self, cls, kwargs, extra):
+        pd = self.make(cls, kwargs)
+        assert pd.interior().shape == (8 + extra[0], 8 + extra[1])
+
+    def test_copy_region(self, cls, kwargs, extra):
+        a = self.make(cls, kwargs)
+        b = self.make(cls, kwargs)
+        a.fill(3.0)
+        b.fill(0.0)
+        region = Box([0, 0], [2, 2])
+        b.copy(a, region)
+        assert b.view(region).sum() == 27.0
+
+    def test_pack_unpack_stream(self, cls, kwargs, extra):
+        a = self.make(cls, kwargs)
+        a.data.array[...] = np.random.default_rng(1).random(a.data.array.shape)
+        region = Box([-1, 0], [2, 3])
+        buf = a.pack_stream(region)
+        assert buf.ndim == 1 and buf.size == region.size()
+        b = self.make(cls, kwargs)
+        b.fill(0.0)
+        b.unpack_stream(buf, region)
+        assert np.array_equal(b.view(region), a.view(region))
+
+    def test_stream_size(self, cls, kwargs, extra):
+        pd = self.make(cls, kwargs)
+        region = Box([0, 0], [3, 1])
+        assert pd.get_data_stream_size(region) == 8 * 8
+
+    def test_timestamp(self, cls, kwargs, extra):
+        pd = self.make(cls, kwargs)
+        pd.set_time(1.25)
+        assert pd.get_time() == 1.25
+
+    def test_restart_roundtrip(self, cls, kwargs, extra):
+        a = self.make(cls, kwargs)
+        a.data.array[...] = np.random.default_rng(2).random(a.data.array.shape)
+        a.set_time(0.7)
+        db = {}
+        a.put_to_restart(db)
+        b = self.make(cls, kwargs)
+        b.fill(0.0)
+        b.get_from_restart(db)
+        assert np.array_equal(a.data.array, b.data.array)
+        assert b.get_time() == 0.7
+
+
+class TestSideDataSpecifics:
+    def test_axis_validation(self):
+        with pytest.raises(ValueError):
+            SideData(BOX, 2, axis=5)
+
+    def test_copy_axis_mismatch(self):
+        a = SideData(BOX, 2, axis=0)
+        b = SideData(BOX, 2, axis=1)
+        with pytest.raises(ValueError):
+            a.copy(b, Box([0, 0], [1, 1]))
+
+
+@given(st.integers(0, 3), st.integers(0, 3), st.integers(1, 4), st.integers(1, 4))
+def test_pack_unpack_property(lo0, lo1, e0, e1):
+    """Pack→unpack into a fresh CellData reproduces any region exactly."""
+    region = Box([lo0, lo1], [lo0 + e0 - 1, lo1 + e1 - 1])
+    a = CellData(BOX, 2)
+    rng = np.random.default_rng(lo0 * 64 + lo1 * 16 + e0 * 4 + e1)
+    a.data.array[...] = rng.random(a.data.array.shape)
+    b = CellData(BOX, 2, fill=0.0)
+    b.unpack_stream(a.pack_stream(region), region)
+    assert np.array_equal(a.view(region), b.view(region))

@@ -1,0 +1,88 @@
+"""Tests for the machine/performance models (the Table I substrate)."""
+
+import pytest
+
+from repro.gpu.device import K20X
+from repro.perf.machines import (
+    FDR_INFINIBAND,
+    GEMINI,
+    IPA,
+    IPA_CPU_NODE,
+    TITAN,
+    TITAN_CPU_NODE,
+)
+
+
+class TestDeviceModel:
+    def test_k20x_parameters(self):
+        assert K20X.memory_bytes == 6 * 1024**3          # Table I: 6 Gb
+        assert K20X.peak_flops == pytest.approx(1.31e12)  # K20x DP peak
+        assert 100e9 < K20X.dram_bandwidth < 250e9        # ECC-on effective
+
+    def test_pcie_gen2_scale(self):
+        # Titan attached K20x over PCIe gen 2: ~6 GB/s
+        assert 4e9 <= K20X.pcie_bandwidth <= 8e9
+
+    def test_launch_overhead_order(self):
+        total = K20X.kernel_overhead + K20X.host_launch_overhead
+        assert 5e-6 <= total <= 20e-6  # the canonical ~10 us
+
+
+class TestCpuModels:
+    def test_core_counts(self):
+        assert IPA_CPU_NODE.cores == 16
+        assert TITAN_CPU_NODE.cores == 16
+
+    def test_clocks_from_table1(self):
+        assert IPA_CPU_NODE.clock_ghz == 2.6
+        assert TITAN_CPU_NODE.clock_ghz == 2.2
+
+    def test_bandwidth_hierarchy(self):
+        """K20x > Sandy Bridge node > Interlagos node, as on the metal."""
+        assert K20X.dram_bandwidth > IPA_CPU_NODE.dram_bandwidth
+        assert IPA_CPU_NODE.dram_bandwidth > TITAN_CPU_NODE.dram_bandwidth
+
+    def test_fig9_asymptote(self):
+        """Bandwidth ratio ~ the paper's 2.67x large-problem speedup."""
+        assert K20X.dram_bandwidth / IPA_CPU_NODE.dram_bandwidth == \
+            pytest.approx(2.67, rel=0.05)
+
+    def test_fig10_one_node_bound(self):
+        """2 GPUs / node vs the node: upper bound ~ 5.3x (paper saw 4.87)."""
+        bound = 2 * K20X.dram_bandwidth / IPA_CPU_NODE.dram_bandwidth
+        assert 4.8 < bound < 6.0
+
+
+class TestNetworks:
+    def test_message_cost_linear(self):
+        c1 = FDR_INFINIBAND.message_cost(0)
+        c2 = FDR_INFINIBAND.message_cost(6_800_000)
+        assert c1 == pytest.approx(FDR_INFINIBAND.latency)
+        assert c2 - c1 == pytest.approx(1e-3)  # 6.8 MB at 6.8 GB/s
+
+    def test_gemini_slower_than_fdr(self):
+        assert GEMINI.bandwidth < FDR_INFINIBAND.bandwidth
+
+    def test_latencies_microsecond_scale(self):
+        for net in (FDR_INFINIBAND, GEMINI):
+            assert 0.5e-6 < net.latency < 5e-6
+
+
+class TestMachineTables:
+    def test_table_rows_complete(self):
+        for machine in (IPA, TITAN):
+            rows = dict(machine.table_rows())
+            for key in ("Processor", "Clock", "Accelerator", "Nodes",
+                        "CPUs/node", "GPUs/node", "CPU RAM/node",
+                        "GPU RAM/node", "Interconnect", "Compiler", "MPI",
+                        "CUDA Version"):
+                assert key in rows
+
+    def test_titan_scale(self):
+        assert TITAN.nodes == 18688
+        assert dict(TITAN.table_rows())["Nodes"] == "18,688"
+
+    def test_software_stack_from_paper(self):
+        assert dict(IPA.table_rows())["MPI"] == "MVAPICH 1.9"
+        assert dict(TITAN.table_rows())["MPI"] == "Cray MPT"
+        assert dict(IPA.table_rows())["CUDA Version"] == "5.5"

@@ -1,0 +1,94 @@
+"""Tests for the device memory pool."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import K20X, Device
+from repro.gpu.pool import ALLOC_OVERHEAD, MemoryPool
+from repro.util.clock import VirtualClock
+
+
+@pytest.fixture
+def device():
+    return Device(K20X, VirtualClock())
+
+
+@pytest.fixture
+def pool(device):
+    return MemoryPool(device)
+
+
+class TestReuse:
+    def test_first_acquire_is_miss(self, pool):
+        a = pool.acquire((64, 64))
+        assert pool.misses == 1 and pool.hits == 0
+        a.release()
+
+    def test_release_then_acquire_is_hit(self, pool):
+        a = pool.acquire((64, 64))
+        a.release()
+        b = pool.acquire((64, 64))
+        assert pool.hits == 1
+        assert b.darr is a.darr  # the very same buffer
+
+    def test_shape_mismatch_is_miss(self, pool):
+        a = pool.acquire((64, 64))
+        a.release()
+        pool.acquire((32, 32))
+        assert pool.hits == 0 and pool.misses == 2
+
+    def test_dtype_distinguished(self, pool):
+        a = pool.acquire((8,), dtype=np.float64)
+        a.release()
+        pool.acquire((8,), dtype=np.int32)
+        assert pool.hits == 0
+
+    def test_hit_rate(self, pool):
+        for _ in range(4):
+            pool.acquire((16, 16)).release()
+        assert pool.hit_rate == pytest.approx(3 / 4)
+
+
+class TestCosts:
+    def test_miss_charges_alloc_overhead(self, pool, device):
+        t0 = device.host_clock.time
+        pool.acquire((64, 64))
+        assert device.host_clock.time - t0 == pytest.approx(ALLOC_OVERHEAD)
+
+    def test_hit_is_free(self, pool, device):
+        pool.acquire((64, 64)).release()
+        t0 = device.host_clock.time
+        pool.acquire((64, 64))
+        assert device.host_clock.time == t0
+
+
+class TestCapacity:
+    def test_cache_bounded(self, device):
+        pool = MemoryPool(device, max_bytes=10_000)
+        arrays = [pool.acquire((1000,)) for _ in range(3)]  # 8 kB each
+        for a in arrays:
+            a.release()
+        assert pool.cached_bytes <= 10_000
+        # buffers over the cap were really freed
+        assert device.bytes_allocated == pool.cached_bytes
+
+    def test_trim_releases_everything(self, pool, device):
+        for _ in range(3):
+            pool.acquire((100,)).release()
+        released = pool.trim()
+        assert released > 0
+        assert pool.cached_bytes == 0
+        assert device.bytes_allocated == 0
+
+    def test_use_after_release_raises(self, pool, device):
+        a = pool.acquire((10,))
+        a.release()
+        with pytest.raises(RuntimeError):
+            device.launch("pdat.fill", 10, lambda: a.kernel_view())
+
+    def test_leased_buffer_usable_in_kernels(self, pool, device):
+        a = pool.acquire((10,))
+        device.launch("pdat.fill", 10, lambda: a.kernel_view().fill(4.0))
+        host = np.empty(10)
+        device.memcpy_dtoh(host, a.darr)
+        assert np.all(host == 4.0)

@@ -1,0 +1,163 @@
+"""Cross-cutting property-based tests (hypothesis) on framework invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.simcomm import SimCommunicator
+from repro.geom.operators import CellConservativeLinearRefine, NodeLinearRefine
+from repro.mesh.box import Box
+from repro.mesh.geometry import CartesianGridGeometry
+from repro.mesh.hierarchy import PatchHierarchy
+from repro.mesh.variables import HostDataFactory, VariableRegistry
+from repro.perf.machines import FDR_INFINIBAND, IPA_CPU_NODE
+from repro.regrid.berger_rigoutsos import cluster_tags
+from repro.regrid.load_balance import assign_owners, chop_boxes
+from repro.xfer.refine_schedule import FillSpec, RefineSchedule
+
+
+def build_level(domain_cells, max_patch, nranks, reg):
+    comm = SimCommunicator(nranks, IPA_CPU_NODE, FDR_INFINIBAND)
+    geom = CartesianGridGeometry(
+        Box([0, 0], [domain_cells - 1, domain_cells - 1]), (0, 0), (1, 1))
+    hier = PatchHierarchy(geom, max_levels=2)
+    boxes = chop_boxes([geom.domain_box], max_patch)
+    owners = assign_owners(boxes, nranks)
+    level = hier.make_level(0, boxes, owners)
+    level.allocate_all(reg, HostDataFactory(), comm)
+    hier.set_level(level)
+    return comm, hier, level
+
+
+@st.composite
+def decompositions(draw):
+    domain = draw(st.sampled_from([8, 12, 16, 24]))
+    max_patch = draw(st.sampled_from([4, 6, 8, 16]))
+    nranks = draw(st.integers(1, 4))
+    return domain, max_patch, nranks
+
+
+class TestGhostFillExactness:
+    """After a fill, ghost values equal the unique global field — for any
+    decomposition and any rank assignment."""
+
+    @given(decompositions())
+    @settings(max_examples=15, deadline=None)
+    def test_cell_fill_reproduces_global_field(self, dec):
+        domain, max_patch, nranks = dec
+        reg = VariableRegistry()
+        reg.declare("f", "cell", 2)
+        comm, hier, level = build_level(domain, max_patch, nranks, reg)
+        # global field value = 3*i + 7*j at cell (i, j)
+        for patch in level:
+            pd = patch.data("f")
+            frame = pd.get_ghost_box()
+            i = np.arange(frame.lower[0], frame.upper[0] + 1)[:, None]
+            j = np.arange(frame.lower[1], frame.upper[1] + 1)[None, :]
+            pd.data.array[...] = np.nan
+            sl = patch.box.slices_in(frame)
+            full = 3.0 * i + 7.0 * j * np.ones_like(i)
+            pd.data.array[sl] = np.broadcast_to(full, pd.data.array.shape)[sl]
+        specs = [FillSpec(reg["f"], CellConservativeLinearRefine())]
+        RefineSchedule(level, None, specs, comm, HostDataFactory()).fill()
+        for patch in level:
+            pd = patch.data("f")
+            frame = pd.get_ghost_box()
+            inner = frame.intersection(level.domain)
+            i = np.arange(inner.lower[0], inner.upper[0] + 1)[:, None]
+            j = np.arange(inner.lower[1], inner.upper[1] + 1)[None, :]
+            expect = 3.0 * i + 7.0 * j
+            got = pd.data.array[inner.slices_in(frame)]
+            assert np.array_equal(got, expect + 0.0 * got)
+
+    @given(decompositions())
+    @settings(max_examples=10, deadline=None)
+    def test_node_fill_reproduces_global_field(self, dec):
+        domain, max_patch, nranks = dec
+        reg = VariableRegistry()
+        reg.declare("v", "node", 2)
+        comm, hier, level = build_level(domain, max_patch, nranks, reg)
+        from repro.pdat.node_data import NodeData
+        for patch in level:
+            pd = patch.data("v")
+            frame = pd.get_ghost_box()
+            pd.data.array[...] = np.nan
+            interior = NodeData.index_box(patch.box)
+            i = np.arange(interior.lower[0], interior.upper[0] + 1)[:, None]
+            j = np.arange(interior.lower[1], interior.upper[1] + 1)[None, :]
+            pd.data.view(interior)[...] = 2.0 * i - 5.0 * j
+        specs = [FillSpec(reg["v"], NodeLinearRefine())]
+        RefineSchedule(level, None, specs, comm, HostDataFactory()).fill()
+        node_domain = NodeData.index_box(level.domain)
+        for patch in level:
+            pd = patch.data("v")
+            frame = pd.get_ghost_box()
+            inner = frame.intersection(node_domain)
+            i = np.arange(inner.lower[0], inner.upper[0] + 1)[:, None]
+            j = np.arange(inner.lower[1], inner.upper[1] + 1)[None, :]
+            got = pd.data.array[inner.slices_in(frame)]
+            assert np.array_equal(got, 2.0 * i - 5.0 * j + 0.0 * got)
+
+
+class TestDecompositionInvariants:
+    @given(decompositions())
+    @settings(max_examples=20, deadline=None)
+    def test_chop_partitions_domain(self, dec):
+        domain, max_patch, nranks = dec
+        box = Box([0, 0], [domain - 1, domain - 1])
+        pieces = chop_boxes([box], max_patch)
+        assert sum(p.size() for p in pieces) == box.size()
+        owners = assign_owners(pieces, nranks)
+        assert len(owners) == len(pieces)
+        assert all(0 <= o < nranks for o in owners)
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_cluster_then_owners_cover_tags(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = np.unique(rng.integers(0, 40, size=(60, 2)), axis=0)
+        boxes = cluster_tags(pts, min_efficiency=0.6, min_size=2)
+        boxes = chop_boxes(boxes, 8)
+        for p in pts:
+            assert sum(1 for b in boxes if b.contains(p)) == 1
+
+
+class TestRefineCoarsenAdjoint:
+    @given(st.integers(0, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_coarsen_of_refine_is_identity(self, seed):
+        """Volume-weighted coarsen exactly inverts conservative refine."""
+        from repro.geom import interp_math as m
+        from repro.mesh.box import IntVector
+
+        rng = np.random.default_rng(seed)
+        cframe = Box([-2, -2], [5, 5])
+        coarse = rng.random(tuple(cframe.shape()))
+        fframe = Box([0, 0], [7, 7])
+        fine = np.zeros(tuple(fframe.shape()))
+        region = Box([0, 0], [7, 7])
+        r = IntVector(2, 2)
+        m.refine_cell_conservative_linear(coarse, cframe, fine, fframe, region, r)
+        back = np.zeros((4, 4))
+        m.coarsen_cell_volume_weighted(
+            fine, fframe, back, Box([0, 0], [3, 3]), Box([0, 0], [3, 3]), r)
+        assert np.allclose(back, coarse[2:6, 2:6], rtol=1e-13)
+
+    @given(st.integers(0, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_injection_of_node_refine_is_identity(self, seed):
+        from repro.geom import interp_math as m
+        from repro.mesh.box import IntVector
+
+        rng = np.random.default_rng(seed)
+        cframe = Box([-1, -1], [5, 5])
+        coarse = rng.random(tuple(cframe.shape()))
+        fframe = Box([0, 0], [8, 8])
+        fine = np.zeros(tuple(fframe.shape()))
+        r = IntVector(2, 2)
+        m.refine_node_linear(coarse, cframe, fine, fframe, Box([0, 0], [8, 8]), r)
+        back = np.zeros((5, 5))
+        m.coarsen_node_injection(
+            fine, fframe, back, Box([0, 0], [4, 4]), Box([0, 0], [4, 4]), r)
+        assert np.array_equal(back, coarse[1:6, 1:6])

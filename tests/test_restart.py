@@ -1,0 +1,113 @@
+"""Tests for checkpoint/restart."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CudaDataFactory,
+    HostDataFactory,
+    LagrangianEulerianIntegrator,
+    SimulationConfig,
+    SodProblem,
+    gather_level_field,
+    make_communicator,
+)
+from repro.util.restart import checkpoint, load_npz, restore, save_npz
+
+
+def make_sim(gpus=False):
+    comm = make_communicator("IPA", 1, gpus=gpus)
+    sim = LagrangianEulerianIntegrator(
+        SodProblem((24, 24)), comm,
+        CudaDataFactory() if gpus else HostDataFactory(),
+        SimulationConfig(max_levels=2, max_patch_size=24))
+    sim.initialise()
+    return sim
+
+
+class TestInMemoryRoundtrip:
+    def test_state_restored_exactly(self):
+        a = make_sim()
+        a.run(max_steps=4)
+        db = checkpoint(a)
+        b = make_sim()
+        restore(b, db)
+        assert b.time == a.time
+        assert b.step_count == a.step_count
+        assert np.array_equal(
+            gather_level_field(a.hierarchy.level(0), "density0"),
+            gather_level_field(b.hierarchy.level(0), "density0"))
+        assert np.array_equal(
+            gather_level_field(a.hierarchy.level(1), "xvel0", fill=0.0),
+            gather_level_field(b.hierarchy.level(1), "xvel0", fill=0.0))
+
+    def test_continued_run_matches_uninterrupted(self):
+        """checkpoint -> restore -> continue == run straight through."""
+        straight = make_sim()
+        straight.run(max_steps=8)
+
+        first = make_sim()
+        first.run(max_steps=4)
+        db = checkpoint(first)
+        resumed = make_sim()
+        restore(resumed, db)
+        resumed.run(max_steps=8)
+
+        assert resumed.time == straight.time
+        assert np.array_equal(
+            gather_level_field(straight.hierarchy.level(0), "density0"),
+            gather_level_field(resumed.hierarchy.level(0), "density0"))
+
+    def test_gpu_checkpoint_matches_cpu(self):
+        cpu = make_sim(gpus=False)
+        gpu = make_sim(gpus=True)
+        cpu.run(max_steps=3)
+        gpu.run(max_steps=3)
+        db_cpu = checkpoint(cpu)
+        db_gpu = checkpoint(gpu)
+        arr_cpu = db_cpu["levels"][0]["patches"][0]["density0"]["array"]
+        arr_gpu = db_gpu["levels"][0]["patches"][0]["density0"]["array"]
+        assert np.array_equal(arr_cpu, arr_gpu)
+
+    def test_restore_into_gpu_build(self):
+        """CPU checkpoint restores into a GPU-resident simulation."""
+        cpu = make_sim(gpus=False)
+        cpu.run(max_steps=3)
+        db = checkpoint(cpu)
+        gpu = make_sim(gpus=True)
+        restore(gpu, db)
+        gpu.run(max_steps=2)
+        cpu.run(max_steps=2)
+        assert np.array_equal(
+            gather_level_field(cpu.hierarchy.level(0), "density0"),
+            gather_level_field(gpu.hierarchy.level(0), "density0"))
+
+    def test_version_check(self):
+        sim = make_sim()
+        db = checkpoint(sim)
+        db["version"] = 999
+        with pytest.raises(ValueError):
+            restore(make_sim(), db)
+
+
+class TestNpzRoundtrip:
+    def test_file_roundtrip(self, tmp_path):
+        a = make_sim()
+        a.run(max_steps=3)
+        db = checkpoint(a)
+        path = str(tmp_path / "ckpt.npz")
+        save_npz(db, path)
+        db2 = load_npz(path)
+        b = make_sim()
+        restore(b, db2)
+        assert b.time == a.time
+        assert np.array_equal(
+            gather_level_field(a.hierarchy.level(1), "energy0", fill=0.0),
+            gather_level_field(b.hierarchy.level(1), "energy0", fill=0.0))
+
+    def test_none_dt_roundtrip(self, tmp_path):
+        a = make_sim()  # dt is None before the first step
+        db = checkpoint(a)
+        path = str(tmp_path / "c.npz")
+        save_npz(db, path)
+        assert load_npz(path)["dt"] is None

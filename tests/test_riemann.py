@@ -1,0 +1,92 @@
+"""Tests for the exact Riemann solver (validation substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.hydro.riemann import ExactRiemannSolver, RiemannState, sod_exact
+
+
+class TestSodStarRegion:
+    """Canonical Sod values (Toro, Table 4.2)."""
+
+    def setup_method(self):
+        self.solver = ExactRiemannSolver(
+            RiemannState(1.0, 0.0, 1.0), RiemannState(0.125, 0.0, 0.1))
+
+    def test_star_pressure(self):
+        assert self.solver.p_star == pytest.approx(0.30313, rel=1e-4)
+
+    def test_star_velocity(self):
+        assert self.solver.u_star == pytest.approx(0.92745, rel=1e-4)
+
+    def test_left_of_everything(self):
+        rho, u, p = self.solver.sample(np.array([-10.0]))
+        assert (rho[0], u[0], p[0]) == (1.0, 0.0, 1.0)
+
+    def test_right_of_everything(self):
+        rho, u, p = self.solver.sample(np.array([10.0]))
+        assert (rho[0], u[0], p[0]) == (0.125, 0.0, 0.1)
+
+    def test_contact_densities(self):
+        """Density jumps across the contact; p and u are continuous."""
+        eps = 1e-6
+        rho_l, u_l, p_l = self.solver.sample(np.array([self.solver.u_star - eps]))
+        rho_r, u_r, p_r = self.solver.sample(np.array([self.solver.u_star + eps]))
+        assert p_l[0] == pytest.approx(p_r[0], rel=1e-5)
+        assert u_l[0] == pytest.approx(u_r[0], rel=1e-5)
+        assert rho_l[0] == pytest.approx(0.42632, rel=1e-3)
+        assert rho_r[0] == pytest.approx(0.26557, rel=1e-3)
+
+    def test_shock_speed(self):
+        """Right shock at s ~= 1.75216 for Sod."""
+        eps = 1e-5
+        rho_a, _, _ = self.solver.sample(np.array([1.75216 - 1e-3]))
+        rho_b, _, _ = self.solver.sample(np.array([1.75216 + 1e-3]))
+        assert rho_a[0] > 0.2
+        assert rho_b[0] == pytest.approx(0.125)
+
+    def test_rarefaction_is_smooth(self):
+        xs = np.linspace(-1.1, -0.1, 50)
+        rho, u, p = self.solver.sample(xs)
+        assert np.all(np.diff(rho) <= 1e-12)  # monotone decreasing
+        assert np.all(np.diff(u) >= -1e-12)   # monotone accelerating
+
+
+class TestSymmetricProblems:
+    def test_equal_states_unchanged(self):
+        s = RiemannState(1.0, 0.0, 1.0)
+        solver = ExactRiemannSolver(s, s)
+        rho, u, p = solver.sample(np.linspace(-1, 1, 11))
+        assert np.allclose(rho, 1.0) and np.allclose(u, 0.0) and np.allclose(p, 1.0)
+
+    def test_colliding_streams_symmetric(self):
+        solver = ExactRiemannSolver(
+            RiemannState(1.0, 1.0, 1.0), RiemannState(1.0, -1.0, 1.0))
+        assert solver.u_star == pytest.approx(0.0, abs=1e-12)
+        assert solver.p_star > 1.0  # compression
+
+    def test_receding_streams_rarefy(self):
+        solver = ExactRiemannSolver(
+            RiemannState(1.0, -0.5, 1.0), RiemannState(1.0, 0.5, 1.0))
+        assert solver.p_star < 1.0
+
+
+class TestSodExactHelper:
+    def test_initial_condition_at_t0(self):
+        x = np.array([0.25, 0.75])
+        rho, u, p = sod_exact(x, 0.0)
+        assert np.allclose(rho, [1.0, 0.125])
+        assert np.allclose(p, [1.0, 0.1])
+
+    def test_interface_offset(self):
+        x = np.array([0.4])
+        rho1, _, _ = sod_exact(x, 0.01, interface=0.5)
+        rho2, _, _ = sod_exact(x, 0.01, interface=0.3)
+        assert rho1[0] == 1.0       # still undisturbed left state
+        assert rho2[0] != 1.0       # now inside the fan/star region
+
+    def test_mass_is_finite_positive(self):
+        x = np.linspace(0.01, 0.99, 200)
+        rho, u, p = sod_exact(x, 0.2)
+        assert np.all(rho > 0) and np.all(p > 0)
+        assert np.all(np.isfinite(u))

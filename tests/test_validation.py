@@ -1,0 +1,120 @@
+"""Physics validation: the scheme converges to the exact Sod solution,
+and AMR matches uniform-fine accuracy at a fraction of the cells."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    HostDataFactory,
+    LagrangianEulerianIntegrator,
+    SimulationConfig,
+    SodProblem,
+    gather_level_field,
+    make_communicator,
+)
+from repro.hydro.riemann import sod_exact
+
+
+def run_sod(res_x, max_levels=1, max_patch=256, end_time=0.15, res_y=8):
+    comm = make_communicator("IPA", 1, gpus=False)
+    sim = LagrangianEulerianIntegrator(
+        SodProblem((res_x, res_y)), comm, HostDataFactory(),
+        SimulationConfig(max_levels=max_levels, max_patch_size=max_patch))
+    sim.initialise()
+    sim.run(end_time=end_time)
+    return sim
+
+
+def density_profile(sim, level=0):
+    rho = gather_level_field(sim.hierarchy.level(level), "density0")
+    return np.nanmean(rho, axis=1)
+
+
+def l1_error(profile, t, n):
+    x = (np.arange(n) + 0.5) / n
+    exact, _, _ = sod_exact(x, t)
+    return np.abs(profile - exact).mean()
+
+
+class TestSodAgainstExact:
+    def test_l1_error_small(self):
+        sim = run_sod(128)
+        err = l1_error(density_profile(sim), sim.time, 128)
+        assert err < 0.01
+
+    def test_error_decreases_with_resolution(self):
+        errs = {}
+        for n in (32, 64, 128):
+            sim = run_sod(n)
+            errs[n] = l1_error(density_profile(sim), sim.time, n)
+        assert errs[64] < errs[32]
+        assert errs[128] < errs[64]
+
+    def test_shock_position(self):
+        """Shock (density drop to 0.125) sits at x = 0.5 + 1.752*t."""
+        sim = run_sod(128)
+        rho = density_profile(sim)
+        x = (np.arange(128) + 0.5) / 128
+        # last cell clearly above the right state
+        shock_idx = np.max(np.nonzero(rho > 0.15))
+        x_shock = x[shock_idx]
+        assert x_shock == pytest.approx(0.5 + 1.75216 * sim.time, abs=0.03)
+
+    def test_plateau_states(self):
+        """Star-region plateaus match the exact contact densities."""
+        sim = run_sod(256)
+        rho = density_profile(sim)
+        x = (np.arange(256) + 0.5) / 256
+        t = sim.time
+        # sample mid-plateau points between waves
+        left_plateau = rho[(x > 0.5 + 0.3 * t) & (x < 0.5 + 0.7 * t)]
+        assert np.median(left_plateau) == pytest.approx(0.42632, rel=0.03)
+
+
+class TestAmrAccuracy:
+    def test_amr_matches_uniform_fine_accuracy(self):
+        """2-level AMR at base 64 ~ uniform 128 accuracy near the shock,
+        with fewer total cells."""
+        uni = run_sod(128, max_levels=1)
+        amr = run_sod(64, max_levels=2, max_patch=128)
+        # compare on the AMR fine level where it exists
+        rho_fine = gather_level_field(amr.hierarchy.level(1), "density0")
+        prof_fine = np.nanmean(rho_fine, axis=1)  # nan where uncovered
+        n = 128
+        x = (np.arange(n) + 0.5) / n
+        exact, _, _ = sod_exact(x, amr.time)
+        covered = ~np.isnan(prof_fine)
+        err_amr = np.abs(prof_fine[covered] - exact[covered]).mean()
+        exact_u, _, _ = sod_exact(x, uni.time)
+        prof_uni = density_profile(uni)
+        err_uni = np.abs(prof_uni[covered] - exact_u[covered]).mean()
+        assert err_amr < 3.0 * err_uni  # same order of accuracy
+        assert amr.total_cells() < 128 * 128  # with fewer cells than uniform
+
+    def test_amr_beats_uniform_coarse(self):
+        """AMR on base 64 beats plain 64 where refined."""
+        coarse = run_sod(64, max_levels=1)
+        amr = run_sod(64, max_levels=2, max_patch=128)
+        n = 64
+        x = (np.arange(n) + 0.5) / n
+        rho_fine = gather_level_field(amr.hierarchy.level(1), "density0")
+        # average fine pairs down to the base resolution
+        prof_fine = np.nanmean(rho_fine, axis=1)
+        pf = 0.5 * (prof_fine[0::2] + prof_fine[1::2])
+        covered = ~np.isnan(pf)
+        exact_amr, _, _ = sod_exact(x, amr.time)
+        exact_coarse, _, _ = sod_exact(x, coarse.time)
+        err_amr = np.abs(pf[covered] - exact_amr[covered]).mean()
+        err_coarse = np.abs(density_profile(coarse)[covered]
+                            - exact_coarse[covered]).mean()
+        assert err_amr < err_coarse
+
+    def test_refined_region_covers_all_waves(self):
+        """Tag buffer keeps the shock inside the refined region."""
+        amr = run_sod(64, max_levels=2, max_patch=128)
+        rho_fine = gather_level_field(amr.hierarchy.level(1), "density0")
+        prof = np.nanmean(rho_fine, axis=1)
+        x = (np.arange(128) + 0.5) / 128
+        shock_x = 0.5 + 1.75216 * amr.time
+        idx = int(shock_x * 128)
+        assert not np.isnan(prof[idx])  # shock cell is refined
