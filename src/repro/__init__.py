@@ -21,6 +21,16 @@ Quick start::
 """
 
 from .comm.simcomm import Message, Rank, SimCommunicator
+from .exec import (
+    Backend,
+    ExecStats,
+    HostBackend,
+    NonResidentDeviceBackend,
+    ResidentDeviceBackend,
+    attribution_report,
+    backend_for,
+    combined_stats,
+)
 from .gpu.device import Device, DeviceSpec, K20X
 from .gpu.errors import DeviceOutOfMemory, GpuError, MemorySpaceError
 from .gpu.memory import DeviceArray
@@ -59,6 +69,9 @@ __all__ = [
     "field_summary", "gather_level_field",
     "Machine", "IPA", "TITAN",
     "make_communicator",
+    "Backend", "HostBackend", "ResidentDeviceBackend",
+    "NonResidentDeviceBackend", "backend_for",
+    "ExecStats", "combined_stats", "attribution_report",
 ]
 
 

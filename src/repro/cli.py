@@ -44,6 +44,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--regrid-interval", type=int, default=5)
     p.add_argument("--steps", type=int, default=None)
     p.add_argument("--end-time", type=float, default=None)
+    p.add_argument("--profile", action="store_true",
+                   help="print the per-kernel / per-transfer attribution "
+                        "table collected at the execution-backend seam")
     p.add_argument("--vtk", metavar="DIR", default=None,
                    help="write VTK dumps to this directory at the end")
     p.add_argument("--checkpoint", metavar="FILE.npz", default=None,
@@ -93,6 +96,13 @@ def main(argv=None) -> int:
     for name in ("hydro", "timestep", "sync", "regrid"):
         t = res.timers.get(name, 0.0)
         print(f"  {name:9s} {t:9.4f}s ({t / total:6.1%})")
+
+    if args.profile:
+        from .exec.stats import attribution_report, combined_stats
+        stats = combined_stats(r.exec_stats for r in sim.comm.ranks)
+        print(f"\n== execution profile ({sim.comm.size} rank(s), summed) ==")
+        for line in attribution_report(stats, timers=res.timers):
+            print(line)
 
     if args.vtk:
         from .util.visit import write_hierarchy

@@ -13,6 +13,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from ..exec.stats import ExecStats
 from ..gpu.device import Device, DeviceSpec
 from ..gpu.kernel import KernelSpec, kernel_spec
 from ..perf.machines import CpuSpec, NetworkSpec
@@ -38,8 +39,32 @@ class Rank:
         self.index = index
         self.cpu = cpu
         self.clock = VirtualClock()
-        self.device = Device(gpu, host_clock=self.clock) if gpu is not None else None
+        self.exec_stats = ExecStats()
+        self.device = (
+            Device(gpu, host_clock=self.clock, exec_stats=self.exec_stats)
+            if gpu is not None
+            else None
+        )
         self.timers = TimerRegistry(self.clock)
+        # Execution backends for this rank's resources.  Imported lazily:
+        # repro.exec.backend needs repro.gpu fully loaded first.
+        from ..exec.backend import HostBackend, ResidentDeviceBackend
+
+        self.host_backend = HostBackend(self)
+        self.resident_backend = (
+            ResidentDeviceBackend(self) if self.device is not None else None
+        )
+        self._nonresident_backend = None
+
+    @property
+    def nonresident_backend(self):
+        """The copy-per-kernel ablation backend (needs a device; lazy so
+        device-less ranks only fail when the ablation is actually used)."""
+        if self._nonresident_backend is None:
+            from ..exec.backend import NonResidentDeviceBackend
+
+            self._nonresident_backend = NonResidentDeviceBackend(self)
+        return self._nonresident_backend
 
     # -- CPU execution model -------------------------------------------------
 
@@ -51,6 +76,7 @@ class Rank:
             nbytes / self.cpu.dram_bandwidth, nflops / self.cpu.peak_flops
         )
         self.clock.advance(cost)
+        self.exec_stats.record_kernel(spec.name, elements, cost, "cpu")
         return fn(*args)
 
     def cpu_charge(self, seconds: float) -> None:

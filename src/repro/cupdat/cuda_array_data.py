@@ -90,6 +90,11 @@ class CudaArrayData:
         self.device.launch("pdat.unpack", box.size(), body)
         dbuf.free()
 
+    # Storage-protocol aliases: the backend-generic centrings in
+    # ``repro.exec.centrings`` call ``pack``/``unpack`` on any storage.
+    pack = pack_to_host
+    unpack = unpack_from_host
+
     # -- host mirroring (for initialisation, analysis, visualisation) -------------
 
     def to_host_array(self) -> np.ndarray:

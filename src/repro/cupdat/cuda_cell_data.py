@@ -2,71 +2,19 @@
 
 from __future__ import annotations
 
-import numpy as np
-
+from ..exec.centrings import CellCentring, DeviceBackedData
 from ..gpu.device import Device
 from ..mesh.box import Box
-from ..pdat.patch_data import PatchData, cell_frame
+from ..pdat.patch_data import cell_frame
 from .cuda_array_data import CudaArrayData
 
 __all__ = ["CudaCellData"]
 
 
-class CudaCellData(PatchData):
+class CudaCellData(CellCentring, DeviceBackedData):
     """Cell-centred data resident in GPU memory."""
 
-    CENTRING = "cell"
-    RESIDENT = True
-
     def __init__(self, box: Box, ghosts: int, device: Device, fill: float | None = None):
-        super().__init__(box, ghosts)
-        self.device = device
-        self.data = CudaArrayData(cell_frame(box, ghosts), device, fill=fill)
-
-    def get_ghost_box(self) -> Box:
-        return self.data.frame
-
-    @classmethod
-    def index_box(cls, box: Box, axis: int | None = None) -> Box:
-        return box
-
-    # -- device-side access ---------------------------------------------------
-
-    def view(self, box: Box) -> np.ndarray:
-        return self.data.view(box)
-
-    def full_view(self) -> np.ndarray:
-        return self.data.full_view()
-
-    def fill(self, value: float, box: Box | None = None) -> None:
-        self.data.fill(value, box)
-
-    # -- PatchData interface -----------------------------------------------
-
-    def copy(self, src: "CudaCellData", overlap: Box) -> None:
-        self.data.copy_from(src.data, overlap)
-
-    def pack_stream(self, overlap: Box) -> np.ndarray:
-        return self.data.pack_to_host(overlap)
-
-    def unpack_stream(self, buffer: np.ndarray, overlap: Box) -> None:
-        self.data.unpack_from_host(buffer, overlap)
-
-    # -- host mirroring -----------------------------------------------------------
-
-    def to_host(self) -> np.ndarray:
-        return self.data.to_host_array()
-
-    def from_host(self, host: np.ndarray) -> None:
-        self.data.from_host_array(host)
-
-    def free(self) -> None:
-        self.data.free()
-
-    def put_to_restart(self, db: dict) -> None:
-        super().put_to_restart(db)
-        db["array"] = self.to_host()
-
-    def get_from_restart(self, db: dict) -> None:
-        super().get_from_restart(db)
-        self.from_host(db["array"])
+        super().__init__(
+            box, ghosts, device, CudaArrayData(cell_frame(box, ghosts), device, fill=fill)
+        )

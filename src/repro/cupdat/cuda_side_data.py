@@ -2,73 +2,22 @@
 
 from __future__ import annotations
 
-import numpy as np
-
+from ..exec.centrings import DeviceBackedData, SideCentring
 from ..gpu.device import Device
-from ..mesh.box import Box, IntVector
-from ..pdat.patch_data import PatchData, side_frame
+from ..mesh.box import Box
+from ..pdat.patch_data import side_frame
 from .cuda_array_data import CudaArrayData
 
 __all__ = ["CudaSideData"]
 
 
-class CudaSideData(PatchData):
+class CudaSideData(SideCentring, DeviceBackedData):
     """Side-centred data (one normal direction) resident in GPU memory."""
 
-    CENTRING = "side"
-    RESIDENT = True
-
-    def __init__(self, box: Box, ghosts: int, axis: int, device: Device, fill: float | None = None):
-        super().__init__(box, ghosts)
-        if not 0 <= axis < box.dim:
-            raise ValueError(f"bad axis {axis} for dim {box.dim}")
-        self.axis = axis
-        self.device = device
-        self.data = CudaArrayData(side_frame(box, ghosts, axis), device, fill=fill)
-
-    def get_ghost_box(self) -> Box:
-        return self.data.frame
-
-    @classmethod
-    def index_box(cls, box: Box, axis: int) -> Box:
-        shift = [0] * box.dim
-        shift[axis] = 1
-        return Box(box.lower, box.upper + IntVector(shift))
-
-    def view(self, box: Box) -> np.ndarray:
-        return self.data.view(box)
-
-    def full_view(self) -> np.ndarray:
-        return self.data.full_view()
-
-    def fill(self, value: float, box: Box | None = None) -> None:
-        self.data.fill(value, box)
-
-    def copy(self, src: "CudaSideData", overlap: Box) -> None:
-        if src.axis != self.axis:
-            raise ValueError("side-data axis mismatch in copy")
-        self.data.copy_from(src.data, overlap)
-
-    def pack_stream(self, overlap: Box) -> np.ndarray:
-        return self.data.pack_to_host(overlap)
-
-    def unpack_stream(self, buffer: np.ndarray, overlap: Box) -> None:
-        self.data.unpack_from_host(buffer, overlap)
-
-    def to_host(self) -> np.ndarray:
-        return self.data.to_host_array()
-
-    def from_host(self, host: np.ndarray) -> None:
-        self.data.from_host_array(host)
-
-    def free(self) -> None:
-        self.data.free()
-
-    def put_to_restart(self, db: dict) -> None:
-        super().put_to_restart(db)
-        db["array"] = self.to_host()
-        db["axis"] = self.axis
-
-    def get_from_restart(self, db: dict) -> None:
-        super().get_from_restart(db)
-        self.from_host(db["array"])
+    def __init__(
+        self, box: Box, ghosts: int, axis: int, device: Device, fill: float | None = None
+    ):
+        self.axis = self.check_axis(box, axis)
+        super().__init__(
+            box, ghosts, device, CudaArrayData(side_frame(box, ghosts, axis), device, fill=fill)
+        )

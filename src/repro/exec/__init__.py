@@ -1,0 +1,60 @@
+"""Execution backends: the single seam between the AMR framework and
+whatever resource (CPU, resident GPU, copy-per-kernel GPU) runs kernels
+and owns patch storage.  See :mod:`repro.exec.backend`.
+"""
+
+from .backend import (
+    Backend,
+    HostBackend,
+    NonResidentDeviceBackend,
+    ResidentDeviceBackend,
+    allocate_device,
+    allocate_host,
+    array_of,
+    backend_for,
+    is_resident,
+    read_patch_fields,
+    run_on,
+)
+from .centrings import (
+    BackendPatchData,
+    CellCentring,
+    DeviceBackedData,
+    HostBackedData,
+    NodeCentring,
+    SideCentring,
+)
+from .stats import (
+    ExecStats,
+    KernelCounter,
+    TransferCounter,
+    attribution_report,
+    combined_stats,
+    kernel_category,
+)
+
+__all__ = [
+    "Backend",
+    "HostBackend",
+    "ResidentDeviceBackend",
+    "NonResidentDeviceBackend",
+    "is_resident",
+    "backend_for",
+    "array_of",
+    "run_on",
+    "allocate_host",
+    "allocate_device",
+    "read_patch_fields",
+    "BackendPatchData",
+    "HostBackedData",
+    "DeviceBackedData",
+    "CellCentring",
+    "NodeCentring",
+    "SideCentring",
+    "ExecStats",
+    "KernelCounter",
+    "TransferCounter",
+    "combined_stats",
+    "kernel_category",
+    "attribution_report",
+]

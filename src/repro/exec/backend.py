@@ -1,0 +1,404 @@
+"""The execution-backend seam: one place that knows where data lives.
+
+The AMR framework drives patch integration as a black box (paper Fig. 6);
+everything that used to re-answer "is this patch data host- or
+device-resident?" ad hoc — hydro kernels, boundary fills, geometry
+operators, transfer schedules, tag flagging, diagnostics — now asks a
+:class:`Backend` instead.  A backend owns
+
+* array allocation (what the patch-data factories delegate to),
+* array views (``array``: the frame array, host- or kernel-space),
+* kernel launch with cost charged to the owning rank's clocks,
+* memcpy charging and batched pack/unpack across the PCIe bus, and
+* the per-kernel / per-transfer counters in :mod:`repro.exec.stats`.
+
+Three implementations cover the paper's builds: :class:`HostBackend`
+(CPU code), :class:`ResidentDeviceBackend` (the paper's resident design,
+wrapping :mod:`repro.gpu`), and :class:`NonResidentDeviceBackend` (the
+copy-per-kernel porting style the paper criticises, kept for the
+residency ablation).  A future backend — heterogeneous CPU+GPU split,
+multiple devices per rank — is one new subclass, not another sweep over
+the framework.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from ..gpu.memory import DeviceArray
+from .stats import ExecStats, attribution_report
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..comm.simcomm import Rank
+    from ..mesh.box import Box
+    from ..mesh.patch import Patch
+    from ..mesh.variables import Variable
+    from ..pdat.patch_data import PatchData
+
+__all__ = [
+    "Backend",
+    "HostBackend",
+    "ResidentDeviceBackend",
+    "NonResidentDeviceBackend",
+    "is_resident",
+    "backend_for",
+    "array_of",
+    "run_on",
+    "allocate_host",
+    "allocate_device",
+    "read_patch_fields",
+]
+
+
+def is_resident(pd) -> bool:
+    """True if a patch-data object's storage lives in device memory."""
+    return getattr(pd, "RESIDENT", False)
+
+
+def array_of(pd) -> np.ndarray:
+    """The full frame array of a patch-data object.
+
+    For device-resident data this is a kernel view, legal only inside a
+    launch on the owning device — call it from within a backend ``run``
+    body.
+    """
+    if is_resident(pd):
+        return pd.data.full_view()
+    return pd.data.array
+
+
+def allocate_host(var: "Variable", box: "Box") -> "PatchData":
+    from ..pdat.cell_data import CellData
+    from ..pdat.node_data import NodeData
+    from ..pdat.side_data import SideData
+
+    if var.centring == "cell":
+        return CellData(box, var.ghosts)
+    if var.centring == "node":
+        return NodeData(box, var.ghosts)
+    return SideData(box, var.ghosts, var.axis)
+
+
+def allocate_device(var: "Variable", box: "Box", device) -> "PatchData":
+    from ..cupdat.cuda_cell_data import CudaCellData
+    from ..cupdat.cuda_node_data import CudaNodeData
+    from ..cupdat.cuda_side_data import CudaSideData
+
+    if var.centring == "cell":
+        return CudaCellData(box, var.ghosts, device)
+    if var.centring == "node":
+        return CudaNodeData(box, var.ghosts, device)
+    return CudaSideData(box, var.ghosts, var.axis, device)
+
+
+def _interior_box(patch: "Patch", pd) -> "Box":
+    return type(pd).index_box(patch.box, getattr(pd, "axis", None))
+
+
+def _fused_pack_to_host(device, items) -> np.ndarray:
+    """One pack kernel into one device buffer, one D2H, for many regions.
+
+    ``items`` is an iterable of ``(patch_data, region_box)``; regions are
+    packed back-to-back in order (the paper's MessageStream scheme).
+    """
+    items = list(items)
+    total = sum(region.size() for _, region in items)
+    dbuf = DeviceArray(device, (total,))
+
+    def body():
+        out = dbuf.kernel_view()
+        off = 0
+        for pd, region in items:
+            n = region.size()
+            out[off:off + n] = pd.data.view(region).reshape(-1)
+            off += n
+
+    device.launch("pdat.pack", total, body)
+    host = device.to_host(dbuf)
+    dbuf.free()
+    return host
+
+
+class Backend(abc.ABC):
+    """One execution resource of a rank: allocation, launch, data motion."""
+
+    #: short identifier used in reports
+    name: str = "backend"
+    #: True if data allocated by this backend lives in device memory
+    resident: bool = False
+
+    def __init__(self, rank: "Rank | None"):
+        self.rank = rank
+
+    # -- allocation -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def allocate(self, var: "Variable", box: "Box") -> "PatchData":
+        """Allocate patch data for one variable on this backend's memory."""
+
+    # -- views ---------------------------------------------------------------
+
+    def array(self, pd) -> np.ndarray:
+        """Frame array of ``pd`` (kernel view for device-resident data)."""
+        return array_of(pd)
+
+    # -- kernel launch --------------------------------------------------------
+
+    @abc.abstractmethod
+    def run(self, kernel: str, elements: int, fn, *args,
+            reads: Iterable = (), writes: Iterable = ()):
+        """Execute ``fn(*args)`` as a kernel over ``elements`` elements.
+
+        The modelled cost is charged to the owning rank's clock (and
+        device stream, for device backends) and recorded in the rank's
+        :class:`~repro.exec.stats.ExecStats`.  ``reads``/``writes`` list
+        the patch-data operands; only backends that must move data per
+        launch (the non-resident ablation) consume them.
+        """
+
+    # -- transfers ------------------------------------------------------------
+
+    def charge_transfer(self, direction: str, nbytes: int) -> None:
+        """Charge a raw PCIe transfer (reduced scalars, tag words).
+
+        No-op on host backends: host data never crosses the bus.
+        """
+
+    def write_frame(self, pd, host: np.ndarray) -> None:
+        """Overwrite the full frame of ``pd`` from a host array."""
+        pd.data.array[...] = host
+
+    def read_fields(self, patch: "Patch", names) -> dict[str, np.ndarray]:
+        """Host arrays of field interiors (one fused D2H per patch)."""
+        return read_patch_fields(patch, names)
+
+    def pack_region(self, pd, region: "Box") -> np.ndarray:
+        """Pack one region into a contiguous host buffer."""
+        return self._cpu("pdat.pack", region.size(),
+                         lambda: pd.pack_stream(region))
+
+    def unpack_region(self, pd, buf: np.ndarray, region: "Box") -> None:
+        """Unpack a contiguous host buffer into one region."""
+        self._cpu("pdat.unpack", region.size(),
+                  lambda: pd.unpack_stream(buf, region))
+
+    def pack_batch(self, items) -> np.ndarray:
+        """Pack many ``(patch_data, region)`` items into one host buffer."""
+        total = sum(region.size() for _, region in items)
+
+        def body():
+            out = np.empty(total, dtype=np.float64)
+            off = 0
+            for pd, region in items:
+                n = region.size()
+                out[off:off + n] = pd.data.view(region).reshape(-1)
+                off += n
+            return out
+
+        return self._cpu("pdat.pack", total, body)
+
+    def unpack_batch(self, buffer: np.ndarray, items) -> None:
+        """Unpack one host buffer into many items, in pack order."""
+        total = sum(region.size() for _, region in items)
+
+        def body():
+            off = 0
+            for pd, region in items:
+                n = region.size()
+                pd.data.view(region)[...] = buffer[off:off + n].reshape(
+                    tuple(region.shape()))
+                off += n
+
+        self._cpu("pdat.unpack", total, body)
+
+    def copy_batch(self, items) -> None:
+        """Fuse many same-resource ``(dst_pd, src_pd, region)`` copies."""
+        total = sum(region.size() for _, _, region in items)
+
+        def body():
+            for dst_pd, src_pd, region in items:
+                dst_pd.data.view(region)[...] = src_pd.data.view(region)
+
+        self._cpu("pdat.copy", total, body)
+
+    def _cpu(self, kernel: str, elements: int, fn, *args):
+        """Run a charged host pass (uncharged when no rank is attached)."""
+        if self.rank is not None:
+            return self.rank.cpu_run(kernel, elements, fn, *args)
+        return fn(*args)
+
+    # -- stats ----------------------------------------------------------------
+
+    @property
+    def exec_stats(self) -> ExecStats:
+        return self.rank.exec_stats if self.rank is not None else ExecStats()
+
+    def stats_report(self, timers: dict[str, float] | None = None) -> str:
+        """The per-kernel / per-transfer attribution table for this rank."""
+        return "\n".join(attribution_report(self.exec_stats, timers=timers))
+
+
+class HostBackend(Backend):
+    """CPU-resident data, kernels charged to the rank's CPU model."""
+
+    name = "host"
+    resident = False
+
+    def allocate(self, var, box):
+        return allocate_host(var, box)
+
+    def run(self, kernel, elements, fn, *args, reads=(), writes=()):
+        return self._cpu(kernel, elements, fn, *args)
+
+
+class ResidentDeviceBackend(Backend):
+    """The paper's design: data stays in device memory for the whole run."""
+
+    name = "resident"
+    resident = True
+
+    def __init__(self, rank: "Rank"):
+        super().__init__(rank)
+        self.device = rank.device
+
+    def allocate(self, var, box):
+        return allocate_device(var, box, self.device)
+
+    def run(self, kernel, elements, fn, *args, reads=(), writes=()):
+        return self.device.launch(kernel, elements, fn, *args)
+
+    def charge_transfer(self, direction, nbytes):
+        self.device._charge_transfer(nbytes, None, direction=direction)
+
+    def write_frame(self, pd, host):
+        pd.from_host(host)
+
+    def pack_region(self, pd, region):
+        return pd.pack_stream(region)  # device kernel + D2H, self-charging
+
+    def unpack_region(self, pd, buf, region):
+        pd.unpack_stream(buf, region)  # H2D + device kernel, self-charging
+
+    def pack_batch(self, items):
+        return _fused_pack_to_host(self.device, items)
+
+    def unpack_batch(self, buffer, items):
+        total = sum(region.size() for _, region in items)
+        dbuf = self.device.from_host(np.ascontiguousarray(buffer))
+
+        def body():
+            src = dbuf.kernel_view()
+            off = 0
+            for pd, region in items:
+                n = region.size()
+                pd.data.view(region)[...] = src[off:off + n].reshape(
+                    tuple(region.shape()))
+                off += n
+
+        self.device.launch("pdat.unpack", total, body)
+        dbuf.free()
+
+    def copy_batch(self, items):
+        total = sum(region.size() for _, _, region in items)
+
+        def body():
+            for dst_pd, src_pd, region in items:
+                dst_pd.data.view(region)[...] = src_pd.data.view(region)
+
+        self.device.launch("pdat.copy", total, body)
+
+
+class NonResidentDeviceBackend(HostBackend):
+    """Copy-per-kernel ablation: host data, GPU kernels, PCIe both ways.
+
+    Models the pre-resident porting style (paper §I, §III, Wang et al.):
+    every launch is bracketed by H2D copies of its operands and D2H
+    copies of its outputs.  Data handling (allocation, views, pack paths)
+    is inherited from :class:`HostBackend` because the data *is*
+    host-resident — only kernel execution differs.
+    """
+
+    name = "nonresident"
+    resident = False
+
+    def __init__(self, rank: "Rank"):
+        super().__init__(rank)
+        if rank.device is None:
+            raise ValueError("non-resident GPU integrator needs a device")
+        self.device = rank.device
+
+    def run(self, kernel, elements, fn, *args, reads=(), writes=()):
+        writes = list(writes)
+        for pd in dict.fromkeys([*reads, *writes]):
+            self.device._charge_transfer(pd.data.array.nbytes, None,
+                                         direction="h2d")
+        result = self.device.launch(kernel, elements, fn, *args)
+        for pd in writes:
+            self.device._charge_transfer(pd.data.array.nbytes, None,
+                                         direction="d2h")
+        return result
+
+
+#: uncharged host execution, used when no rank context exists (unit tests,
+#: operator application outside a simulation)
+UNCHARGED_HOST = HostBackend(None)
+
+
+def backend_for(pd, rank: "Rank | None") -> Backend:
+    """The backend matching where ``pd``'s storage actually lives.
+
+    This is the single replacement for every former ad hoc
+    ``getattr(pd, "RESIDENT", False)`` dispatch site.
+    """
+    if is_resident(pd):
+        if rank is None or rank.resident_backend is None:
+            raise ValueError(
+                "device-resident patch data needs a rank with a device")
+        return rank.resident_backend
+    return rank.host_backend if rank is not None else UNCHARGED_HOST
+
+
+def run_on(pd, rank: "Rank | None", kernel: str, elements: int, fn, *args):
+    """Dispatch one kernel to the resource owning ``pd``.
+
+    Unlike :func:`backend_for`, this tolerates ``rank=None`` for
+    device-resident data by launching on the data's own device (operators
+    applied outside a simulation still execute on the right resource).
+    """
+    if is_resident(pd):
+        return pd.device.launch(kernel, elements, fn, *args)
+    if rank is not None:
+        return rank.cpu_run(kernel, elements, fn, *args)
+    return fn(*args)
+
+
+def read_patch_fields(patch: "Patch", names) -> dict[str, np.ndarray]:
+    """Host arrays of the named fields' interiors on one patch.
+
+    Host-resident fields return live views (no copy, no charge).  All
+    device-resident fields of the patch are packed by one fused kernel
+    and cross the PCIe bus in a single D2H transfer — the backend read
+    path diagnostics use instead of one full-frame copy per field.
+    """
+    out: dict[str, np.ndarray] = {}
+    device_items = []
+    for name in names:
+        pd = patch.data(name)
+        interior = _interior_box(patch, pd)
+        if is_resident(pd):
+            device_items.append((name, pd, interior))
+        else:
+            out[name] = pd.data.view(interior)
+    if device_items:
+        device = device_items[0][1].device
+        host = _fused_pack_to_host(
+            device, [(pd, box) for _, pd, box in device_items])
+        off = 0
+        for name, pd, box in device_items:
+            n = box.size()
+            out[name] = host[off:off + n].reshape(tuple(box.shape()))
+            off += n
+    return out

@@ -1,0 +1,168 @@
+"""Backend-generic centring implementations shared by ``pdat`` and ``cupdat``.
+
+The paper's host and device patch-data stacks differ only in where their
+storage lives and how bytes cross the memory-space boundary; everything
+centring-specific (index frames, interior boxes, axis bookkeeping) and
+everything ``PatchData``-generic (region copy, stream pack/unpack,
+restart) is identical.  This module factors that shared behaviour into
+
+* three *centring mixins* (:class:`CellCentring`, :class:`NodeCentring`,
+  :class:`SideCentring`), and
+* two *storage bases* (:class:`HostBackedData` over
+  :class:`~repro.pdat.array_data.ArrayData`, :class:`DeviceBackedData`
+  over :class:`~repro.cupdat.cuda_array_data.CudaArrayData`),
+
+so the six concrete classes in ``pdat``/``cupdat`` are one-constructor
+parameterisations, and a future backend's patch data is one new storage
+base rather than a parallel class hierarchy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mesh.box import Box, IntVector
+from ..pdat.patch_data import PatchData
+
+__all__ = [
+    "BackendPatchData",
+    "HostBackedData",
+    "DeviceBackedData",
+    "CellCentring",
+    "NodeCentring",
+    "SideCentring",
+]
+
+
+class BackendPatchData(PatchData):
+    """``PatchData`` over a storage object (host or device ``ArrayData``).
+
+    The storage provides ``frame``, ``view``, ``fill``, ``copy_from``,
+    ``pack`` and ``unpack``; residency is a class attribute consumed only
+    by :mod:`repro.exec.backend` dispatch.
+    """
+
+    CENTRING = "cell"
+    RESIDENT = False
+
+    def __init__(self, box: Box, ghosts: int, storage):
+        super().__init__(box, ghosts)
+        self.data = storage
+
+    def get_ghost_box(self) -> Box:
+        return self.data.frame
+
+    def view(self, box: Box) -> np.ndarray:
+        return self.data.view(box)
+
+    def fill(self, value: float, box: Box | None = None) -> None:
+        self.data.fill(value, box)
+
+    def copy(self, src: "BackendPatchData", overlap: Box) -> None:
+        self.data.copy_from(src.data, overlap)
+
+    def pack_stream(self, overlap: Box) -> np.ndarray:
+        return self.data.pack(overlap)
+
+    def unpack_stream(self, buffer: np.ndarray, overlap: Box) -> None:
+        self.data.unpack(buffer, overlap)
+
+
+class HostBackedData(BackendPatchData):
+    """Storage lives in host memory; arrays are directly addressable."""
+
+    RESIDENT = False
+
+    @property
+    def array(self) -> np.ndarray:
+        return self.data.array
+
+    def interior(self) -> np.ndarray:
+        return self.data.view(self.index_box(self.box, getattr(self, "axis", None)))
+
+    def put_to_restart(self, db: dict) -> None:
+        super().put_to_restart(db)
+        db["array"] = self.array.copy()
+
+    def get_from_restart(self, db: dict) -> None:
+        super().get_from_restart(db)
+        self.array[...] = db["array"]
+
+
+class DeviceBackedData(BackendPatchData):
+    """Storage lives in device memory; host access goes over PCIe."""
+
+    RESIDENT = True
+
+    def __init__(self, box: Box, ghosts: int, device, storage):
+        super().__init__(box, ghosts, storage)
+        self.device = device
+
+    def full_view(self) -> np.ndarray:
+        return self.data.full_view()
+
+    def to_host(self) -> np.ndarray:
+        return self.data.to_host_array()
+
+    def from_host(self, host: np.ndarray) -> None:
+        self.data.from_host_array(host)
+
+    def free(self) -> None:
+        self.data.free()
+
+    def put_to_restart(self, db: dict) -> None:
+        super().put_to_restart(db)
+        db["array"] = self.to_host()
+
+    def get_from_restart(self, db: dict) -> None:
+        super().get_from_restart(db)
+        self.from_host(db["array"])
+
+
+class CellCentring:
+    """One value per cell."""
+
+    CENTRING = "cell"
+
+    @classmethod
+    def index_box(cls, box: Box, axis: int | None = None) -> Box:
+        """Interior index box in this centring's index space."""
+        return box
+
+
+class NodeCentring:
+    """One value per node; one extra index per axis, node ``i`` at the
+    lower corner of cell ``i``."""
+
+    CENTRING = "node"
+
+    @classmethod
+    def index_box(cls, box: Box, axis: int | None = None) -> Box:
+        return Box(box.lower, box.upper + IntVector.uniform(1, box.dim))
+
+
+class SideCentring:
+    """One value per cell face normal to ``self.axis``."""
+
+    CENTRING = "side"
+
+    @classmethod
+    def index_box(cls, box: Box, axis: int) -> Box:
+        shift = [0] * box.dim
+        shift[axis] = 1
+        return Box(box.lower, box.upper + IntVector(shift))
+
+    @staticmethod
+    def check_axis(box: Box, axis: int) -> int:
+        if not 0 <= axis < box.dim:
+            raise ValueError(f"bad axis {axis} for dim {box.dim}")
+        return axis
+
+    def copy(self, src, overlap: Box) -> None:
+        if src.axis != self.axis:
+            raise ValueError("side-data axis mismatch in copy")
+        super().copy(src, overlap)
+
+    def put_to_restart(self, db: dict) -> None:
+        super().put_to_restart(db)
+        db["axis"] = self.axis

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..exec.backend import array_of, run_on
 from ..mesh.box import Box, IntVector
 from . import interp_math as m
 
@@ -33,18 +34,9 @@ __all__ = [
 ]
 
 
-def _is_device(pd) -> bool:
-    return getattr(pd, "RESIDENT", False)
-
-
 def _run(pd, kernel_name: str, elements: int, body, rank: "Rank | None") -> None:
-    """Execute ``body`` on the right resource with the right cost charge."""
-    if _is_device(pd):
-        pd.device.launch(kernel_name, elements, body)
-    elif rank is not None:
-        rank.cpu_run(kernel_name, elements, body)
-    else:
-        body()
+    """Execute ``body`` on the resource owning ``pd``, charging its cost."""
+    run_on(pd, rank, kernel_name, elements, body)
 
 
 def _arrays(pd):
@@ -53,9 +45,7 @@ def _arrays(pd):
     Device arrays are only legally accessible inside the kernel launch, so
     this must be called from within ``body`` for GPU data.
     """
-    if _is_device(pd):
-        return pd.data.full_view(), pd.data.frame
-    return pd.data.array, pd.data.frame
+    return array_of(pd), pd.data.frame
 
 
 def _as_ratio(ratio) -> IntVector:

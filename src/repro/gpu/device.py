@@ -73,12 +73,20 @@ class DeviceStats:
 class Device:
     """A simulated GPU with its own memory space and timelines."""
 
-    def __init__(self, spec: DeviceSpec = K20X, host_clock: VirtualClock | None = None):
+    def __init__(
+        self,
+        spec: DeviceSpec = K20X,
+        host_clock: VirtualClock | None = None,
+        exec_stats=None,
+    ):
         self.spec = spec
         self.host_clock = host_clock if host_clock is not None else VirtualClock()
         self.default_stream = Stream(self)
         self.bytes_allocated = 0
         self.stats = DeviceStats()
+        #: optional repro.exec.stats.ExecStats sink shared with the owning
+        #: rank; None for bare devices constructed outside a simulation
+        self.exec_stats = exec_stats
         self._kernel_depth = 0
         self._in_memcpy = 0
 
@@ -178,6 +186,8 @@ class Device:
         self.stats.launches_by_name[spec.name] = (
             self.stats.launches_by_name.get(spec.name, 0) + 1
         )
+        if self.exec_stats is not None:
+            self.exec_stats.record_kernel(spec.name, elements, cost, "gpu")
 
         with self._kernel_scope():
             return fn(*args)
@@ -191,9 +201,7 @@ class Device:
         """Copy host → device.  Synchronous unless a stream is given."""
         if dst.nbytes != src.nbytes:
             raise ValueError(f"memcpy size mismatch: {dst.nbytes} vs {src.nbytes}")
-        self._charge_transfer(src.nbytes, stream)
-        self.stats.bytes_h2d += src.nbytes
-        self.stats.transfers_h2d += 1
+        self._charge_transfer(src.nbytes, stream, direction="h2d")
         with self._memcpy_scope():
             dst.kernel_view()[...] = src.reshape(dst.shape)
 
@@ -201,9 +209,7 @@ class Device:
         """Copy device → host.  Synchronous unless a stream is given."""
         if dst.nbytes != src.nbytes:
             raise ValueError(f"memcpy size mismatch: {dst.nbytes} vs {src.nbytes}")
-        self._charge_transfer(src.nbytes, stream)
-        self.stats.bytes_d2h += src.nbytes
-        self.stats.transfers_d2h += 1
+        self._charge_transfer(src.nbytes, stream, direction="d2h")
         with self._memcpy_scope():
             dst.reshape(src.shape)[...] = src.kernel_view()
 
@@ -220,12 +226,24 @@ class Device:
         cost = self.spec.kernel_overhead + 2 * src.nbytes / self.spec.dram_bandwidth
         s.clock.advance_to(self.host_clock.time)
         s.clock.advance(cost)
+        if self.exec_stats is not None:
+            self.exec_stats.record_transfer("d2d", src.nbytes, cost)
         with self._memcpy_scope():
             dst.kernel_view()[...] = src.kernel_view()
 
-    def _charge_transfer(self, nbytes: int, stream: Stream | None) -> None:
+    def _charge_transfer(
+        self, nbytes: int, stream: Stream | None, direction: str | None = None
+    ) -> None:
         cost = self._transfer_cost(nbytes)
         self.stats.transfer_seconds += cost
+        if direction == "h2d":
+            self.stats.bytes_h2d += nbytes
+            self.stats.transfers_h2d += 1
+        elif direction == "d2h":
+            self.stats.bytes_d2h += nbytes
+            self.stats.transfers_d2h += 1
+        if direction is not None and self.exec_stats is not None:
+            self.exec_stats.record_transfer(direction, nbytes, cost)
         if stream is None:
             # Synchronous copy: host blocks until all prior work and the
             # transfer itself complete.

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..exec.backend import array_of, backend_for
 from ..gpu.kernel import register_kernel
 from ..mesh.box import Box
 from ..xfer.overlap import index_box_for
@@ -100,8 +101,7 @@ class ReflectiveBoundary:
             n = 0
             for var in variables:
                 pd = patch.data(var.name)
-                arr = (pd.data.full_view()
-                       if getattr(pd, "RESIDENT", False) else pd.data.array)
+                arr = array_of(pd)
                 frame = pd.get_ghost_box()
                 domain_idx = index_box_for(var, level.domain)
                 par = self.parity_for(var.name)
@@ -123,7 +123,4 @@ class ReflectiveBoundary:
             strip += sum(var.ghosts * frame_shape[1 - axis]
                          for axis, _ in touches)
         pd0 = patch.data(variables[0].name)
-        if getattr(pd0, "RESIDENT", False):
-            pd0.device.launch("hydro.update_halo", strip, body)
-        else:
-            rank.cpu_run("hydro.update_halo", strip, body)
+        backend_for(pd0, rank).run("hydro.update_halo", strip, body)

@@ -2,16 +2,17 @@
 
 This is the paper's black-box integration point (Fig. 6): the framework
 drives one of these per patch and never needs to know where the data lives.
+Each kernel is dispatched through the :mod:`repro.exec` backend owning the
+patch's data:
 
-* :class:`CleverleafPatchIntegrator` dispatches each kernel to the owning
-  rank's CPU model (host data) or launches it on the rank's simulated GPU
-  (resident data) — the paper's CPU and ``Cudaleaf`` integrators in one
-  class, selected by the patch-data factory used to build the hierarchy.
-* :class:`NonResidentGpuPatchIntegrator` reproduces the naive porting
-  style the paper criticises (§I, §III, Wang et al.): host-resident data,
-  GPU kernels, with every input copied to the device and every output
-  copied back around *every* kernel launch.  It exists for the residency
-  ablation benchmark.
+* :class:`CleverleafPatchIntegrator` resolves the backend from the data's
+  residency — the paper's CPU and ``Cudaleaf`` integrators in one class,
+  selected by the patch-data factory used to build the hierarchy.
+* :class:`NonResidentGpuPatchIntegrator` pins the copy-per-kernel ablation
+  backend instead, reproducing the naive porting style the paper
+  criticises (§I, §III, Wang et al.): host-resident data, GPU kernels,
+  every input copied to the device and every output copied back around
+  *every* launch.  It exists for the residency ablation benchmark.
 """
 
 from __future__ import annotations
@@ -20,6 +21,7 @@ from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
+from ..exec.backend import Backend, array_of, backend_for
 from . import kernels as K
 from .fields import GHOSTS
 
@@ -30,10 +32,6 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["CleverleafPatchIntegrator", "NonResidentGpuPatchIntegrator"]
 
 
-def _is_resident(patch: "Patch") -> bool:
-    return getattr(patch.data("density0"), "RESIDENT", False)
-
-
 class CleverleafPatchIntegrator:
     """CloverLeaf-scheme integrator over one patch, CPU or GPU resident."""
 
@@ -42,21 +40,20 @@ class CleverleafPatchIntegrator:
 
     # -- dispatch helpers ---------------------------------------------------
 
+    def _backend(self, patch: "Patch", rank: "Rank") -> Backend:
+        """The backend owning this patch's field data."""
+        return backend_for(patch.data("density0"), rank)
+
     def _arrs(self, patch: "Patch", names: Iterable[str]) -> dict[str, np.ndarray]:
-        out = {}
-        for n in names:
-            pd = patch.data(n)
-            if getattr(pd, "RESIDENT", False):
-                out[n] = pd.data.full_view()
-            else:
-                out[n] = pd.data.array
-        return out
+        return {n: array_of(patch.data(n)) for n in names}
 
     def _run(self, patch: "Patch", rank: "Rank", kernel: str, elements: int,
              body, reads=(), writes=()):
-        if _is_resident(patch):
-            return rank.device.launch(kernel, elements, body)
-        return rank.cpu_run(kernel, elements, body)
+        return self._backend(patch, rank).run(
+            kernel, elements, body,
+            reads=[patch.data(n) for n in reads],
+            writes=[patch.data(n) for n in writes],
+        )
 
     def _geom(self, patch: "Patch"):
         nx, ny = patch.box.shape()
@@ -75,6 +72,7 @@ class CleverleafPatchIntegrator:
         xc, yc = patch.cell_centers()
         d, e = problem.initial_state(xc, yc)
         nx, ny, g, dx, dy = self._geom(patch)
+        backend = self._backend(patch, rank)
 
         def fill_field(name, interior, fill_value):
             pd = patch.data(name)
@@ -82,10 +80,7 @@ class CleverleafPatchIntegrator:
             host = np.full(frame_shape, fill_value, dtype=np.float64)
             sl = tuple(slice(g, g + s) for s in interior.shape)
             host[sl] = interior
-            if getattr(pd, "RESIDENT", False):
-                pd.from_host(host)
-            else:
-                pd.data.array[...] = host
+            backend.write_frame(pd, host)
 
         dens = np.broadcast_to(d, (nx, ny)).astype(np.float64)
         ener = np.broadcast_to(e, (nx, ny)).astype(np.float64)
@@ -140,11 +135,8 @@ class CleverleafPatchIntegrator:
                              a["xvel0"], a["yvel0"], nx, ny, g, dx, dy)
 
         dt = self._run(patch, rank, "hydro.calc_dt", nx * ny, body, reads=names)
-        if _is_resident(patch):
-            # The reduced scalar crosses the PCIe bus.
-            rank.device._charge_transfer(8, None)
-            rank.device.stats.bytes_d2h += 8
-            rank.device.stats.transfers_d2h += 1
+        # The reduced scalar crosses the PCIe bus (no-op on host backends).
+        self._backend(patch, rank).charge_transfer("d2h", 8)
         return dt
 
     def pdv(self, patch, rank, predict: bool, dt: float):
@@ -245,25 +237,11 @@ class NonResidentGpuPatchIntegrator(CleverleafPatchIntegrator):
     """GPU kernels over host-resident data, copied both ways per launch.
 
     Models the pre-resident porting style: the hierarchy is built with the
-    host data factory, and every kernel launch is bracketed by H2D copies
-    of its inputs and D2H copies of its outputs across the PCIe bus.
+    host data factory, and every kernel launch goes through
+    :class:`~repro.exec.backend.NonResidentDeviceBackend`, which brackets
+    it with H2D copies of its inputs and D2H copies of its outputs across
+    the PCIe bus.
     """
 
-    def _run(self, patch, rank, kernel, elements, body, reads=(), writes=()):
-        device = rank.device
-        if device is None:
-            raise ValueError("non-resident GPU integrator needs a device")
-        for name in set(reads) | set(writes):
-            pd = patch.data(name)
-            nbytes = pd.data.array.nbytes
-            device._charge_transfer(nbytes, None)
-            device.stats.bytes_h2d += nbytes
-            device.stats.transfers_h2d += 1
-        result = device.launch(kernel, elements, body)
-        for name in writes:
-            pd = patch.data(name)
-            nbytes = pd.data.array.nbytes
-            device._charge_transfer(nbytes, None)
-            device.stats.bytes_d2h += nbytes
-            device.stats.transfers_d2h += 1
-        return result
+    def _backend(self, patch, rank):
+        return rank.nonresident_backend

@@ -13,12 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from ..pdat.cell_data import CellData
-from ..pdat.node_data import NodeData
-from ..pdat.side_data import SideData
+from ..exec.backend import allocate_device, allocate_host
 
 if TYPE_CHECKING:  # pragma: no cover
-    from ..gpu.device import Device
     from ..pdat.patch_data import PatchData
     from .box import Box
 
@@ -73,11 +70,7 @@ class HostDataFactory:
     location = "host"
 
     def allocate(self, var: Variable, box: "Box", rank) -> "PatchData":
-        if var.centring == "cell":
-            return CellData(box, var.ghosts)
-        if var.centring == "node":
-            return NodeData(box, var.ghosts)
-        return SideData(box, var.ghosts, var.axis)
+        return allocate_host(var, box)
 
 
 class CudaDataFactory:
@@ -86,15 +79,6 @@ class CudaDataFactory:
     location = "device"
 
     def allocate(self, var: Variable, box: "Box", rank) -> "PatchData":
-        from ..cupdat.cuda_cell_data import CudaCellData
-        from ..cupdat.cuda_node_data import CudaNodeData
-        from ..cupdat.cuda_side_data import CudaSideData
-
-        device: "Device" = rank.device
-        if device is None:
+        if rank.device is None:
             raise ValueError(f"rank {rank.index} has no device for CUDA data")
-        if var.centring == "cell":
-            return CudaCellData(box, var.ghosts, device)
-        if var.centring == "node":
-            return CudaNodeData(box, var.ghosts, device)
-        return CudaSideData(box, var.ghosts, var.axis, device)
+        return allocate_device(var, box, rank.device)

@@ -4,62 +4,19 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..exec.centrings import CellCentring, HostBackedData
 from ..mesh.box import Box
 from .array_data import ArrayData
-from .patch_data import PatchData, cell_frame
+from .patch_data import cell_frame
 
 __all__ = ["CellData"]
 
 
-class CellData(PatchData):
+class CellData(CellCentring, HostBackedData):
     """One float64 value per cell, with ``ghosts`` ghost layers."""
 
-    CENTRING = "cell"
-
     def __init__(self, box: Box, ghosts: int, fill: float | None = None):
-        super().__init__(box, ghosts)
-        self.data = ArrayData(cell_frame(box, ghosts), fill=fill)
-
-    # -- geometry ------------------------------------------------------------
-
-    def get_ghost_box(self) -> Box:
-        return self.data.frame
-
-    @classmethod
-    def index_box(cls, box: Box, axis: int | None = None) -> Box:
-        """Interior index box in this centring's index space."""
-        return box
-
-    # -- array access ----------------------------------------------------------
-
-    @property
-    def array(self) -> np.ndarray:
-        return self.data.array
-
-    def view(self, box: Box) -> np.ndarray:
-        return self.data.view(box)
+        super().__init__(box, ghosts, ArrayData(cell_frame(box, ghosts), fill=fill))
 
     def interior(self) -> np.ndarray:
         return self.data.view(self.box)
-
-    def fill(self, value: float, box: Box | None = None) -> None:
-        self.data.fill(value, box)
-
-    # -- PatchData interface -----------------------------------------------
-
-    def copy(self, src: "CellData", overlap: Box) -> None:
-        self.data.copy_from(src.data, overlap)
-
-    def pack_stream(self, overlap: Box) -> np.ndarray:
-        return self.data.pack(overlap)
-
-    def unpack_stream(self, buffer: np.ndarray, overlap: Box) -> None:
-        self.data.unpack(buffer, overlap)
-
-    def put_to_restart(self, db: dict) -> None:
-        super().put_to_restart(db)
-        db["array"] = self.array.copy()
-
-    def get_from_restart(self, db: dict) -> None:
-        super().get_from_restart(db)
-        self.array[...] = db["array"]

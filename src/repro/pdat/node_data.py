@@ -2,62 +2,20 @@
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..mesh.box import Box, IntVector
+from ..exec.centrings import HostBackedData, NodeCentring
+from ..mesh.box import Box
 from .array_data import ArrayData
-from .patch_data import PatchData, node_frame
+from .patch_data import node_frame
 
 __all__ = ["NodeData"]
 
 
-class NodeData(PatchData):
+class NodeData(NodeCentring, HostBackedData):
     """One float64 value per node.
 
     The node index space has one more index than the cell space along each
     axis; node ``i`` sits at the lower corner of cell ``i``.
     """
 
-    CENTRING = "node"
-
     def __init__(self, box: Box, ghosts: int, fill: float | None = None):
-        super().__init__(box, ghosts)
-        self.data = ArrayData(node_frame(box, ghosts), fill=fill)
-
-    def get_ghost_box(self) -> Box:
-        return self.data.frame
-
-    @classmethod
-    def index_box(cls, box: Box, axis: int | None = None) -> Box:
-        """Node-space index box covering the nodes of cell box ``box``."""
-        return Box(box.lower, box.upper + IntVector.uniform(1, box.dim))
-
-    @property
-    def array(self) -> np.ndarray:
-        return self.data.array
-
-    def view(self, box: Box) -> np.ndarray:
-        return self.data.view(box)
-
-    def interior(self) -> np.ndarray:
-        return self.data.view(self.index_box(self.box))
-
-    def fill(self, value: float, box: Box | None = None) -> None:
-        self.data.fill(value, box)
-
-    def copy(self, src: "NodeData", overlap: Box) -> None:
-        self.data.copy_from(src.data, overlap)
-
-    def pack_stream(self, overlap: Box) -> np.ndarray:
-        return self.data.pack(overlap)
-
-    def unpack_stream(self, buffer: np.ndarray, overlap: Box) -> None:
-        self.data.unpack(buffer, overlap)
-
-    def put_to_restart(self, db: dict) -> None:
-        super().put_to_restart(db)
-        db["array"] = self.array.copy()
-
-    def get_from_restart(self, db: dict) -> None:
-        super().get_from_restart(db)
-        self.array[...] = db["array"]
+        super().__init__(box, ghosts, ArrayData(node_frame(box, ghosts), fill=fill))

@@ -8,66 +8,17 @@ paper's ``CudaSideData`` holds a single ``CudaArrayData``.
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..mesh.box import Box, IntVector
+from ..exec.centrings import HostBackedData, SideCentring
+from ..mesh.box import Box
 from .array_data import ArrayData
-from .patch_data import PatchData, side_frame
+from .patch_data import side_frame
 
 __all__ = ["SideData"]
 
 
-class SideData(PatchData):
+class SideData(SideCentring, HostBackedData):
     """One float64 value per cell face normal to ``axis``."""
 
-    CENTRING = "side"
-
     def __init__(self, box: Box, ghosts: int, axis: int, fill: float | None = None):
-        super().__init__(box, ghosts)
-        if not 0 <= axis < box.dim:
-            raise ValueError(f"bad axis {axis} for dim {box.dim}")
-        self.axis = axis
-        self.data = ArrayData(side_frame(box, ghosts, axis), fill=fill)
-
-    def get_ghost_box(self) -> Box:
-        return self.data.frame
-
-    @classmethod
-    def index_box(cls, box: Box, axis: int) -> Box:
-        """Side-space index box for faces of ``box`` normal to ``axis``."""
-        shift = [0] * box.dim
-        shift[axis] = 1
-        return Box(box.lower, box.upper + IntVector(shift))
-
-    @property
-    def array(self) -> np.ndarray:
-        return self.data.array
-
-    def view(self, box: Box) -> np.ndarray:
-        return self.data.view(box)
-
-    def interior(self) -> np.ndarray:
-        return self.data.view(self.index_box(self.box, self.axis))
-
-    def fill(self, value: float, box: Box | None = None) -> None:
-        self.data.fill(value, box)
-
-    def copy(self, src: "SideData", overlap: Box) -> None:
-        if src.axis != self.axis:
-            raise ValueError("side-data axis mismatch in copy")
-        self.data.copy_from(src.data, overlap)
-
-    def pack_stream(self, overlap: Box) -> np.ndarray:
-        return self.data.pack(overlap)
-
-    def unpack_stream(self, buffer: np.ndarray, overlap: Box) -> None:
-        self.data.unpack(buffer, overlap)
-
-    def put_to_restart(self, db: dict) -> None:
-        super().put_to_restart(db)
-        db["array"] = self.array.copy()
-        db["axis"] = self.axis
-
-    def get_from_restart(self, db: dict) -> None:
-        super().get_from_restart(db)
-        self.array[...] = db["array"]
+        self.axis = self.check_axis(box, axis)
+        super().__init__(box, ghosts, ArrayData(side_frame(box, ghosts, axis), fill=fill))

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..exec.backend import array_of, backend_for, is_resident
 from ..hydro.fields import GHOSTS
 from ..hydro.kernels import G_SMALL, win
 
@@ -75,31 +76,22 @@ def flag_patch(patch: "Patch", rank: "Rank", thresholds: TagThresholds) -> np.nd
     nx, ny = (int(v) for v in patch.box.shape())
     g = GHOSTS
     pd = patch.data("density0")
-    resident = getattr(pd, "RESIDENT", False)
+    backend = backend_for(pd, rank)
     names = ("density0", "energy0", "pressure")
 
-    if not resident:
-        def body():
-            arrs = [patch.data(n).data.array for n in names]
-            return compute_tags(*arrs, nx, ny, g, thresholds)
-        return rank.cpu_run("regrid.tag", nx * ny, body)
-
-    device = rank.device
-
     def tag_body():
-        arrs = [patch.data(n).data.full_view() for n in names]
+        arrs = [array_of(patch.data(n)) for n in names]
         return compute_tags(*arrs, nx, ny, g, thresholds)
 
-    tags = device.launch("regrid.tag", nx * ny, tag_body)
-    packed = device.launch("regrid.tag_compress", nx * ny, pack_tags, tags)
+    tags = backend.run("regrid.tag", nx * ny, tag_body)
+    if not is_resident(pd):
+        return tags
+
+    packed = backend.run("regrid.tag_compress", nx * ny, pack_tags, tags)
     # "tagged" flag for the patch crosses the bus first; untagged patches
     # skip the bit-array transfer (re-creating all-zeros on the host is free).
-    device._charge_transfer(4, None)
-    device.stats.bytes_d2h += 4
-    device.stats.transfers_d2h += 1
+    backend.charge_transfer("d2h", 4)
     if not tags.any():
         return np.zeros((nx, ny), dtype=bool)
-    device._charge_transfer(packed.nbytes, None)
-    device.stats.bytes_d2h += packed.nbytes
-    device.stats.transfers_d2h += 1
+    backend.charge_transfer("d2h", packed.nbytes)
     return unpack_tags(packed, (nx, ny))

@@ -4,8 +4,9 @@ SAMRAI aggregates every region of every variable destined for one remote
 patch into a single contiguous message stream; on the GPU this means one
 pack kernel, one PCIe copy, and one MPI message per (source, destination)
 patch pair per fill phase — not one per region.  This module provides the
-batched pack/unpack/copy primitives the schedules use, for both host- and
-device-resident data.
+batched pack/unpack/copy primitives the schedules use; the resource
+dispatch (one fused device kernel + one PCIe copy vs one charged CPU
+pass) lives in the owning :mod:`repro.exec` backend.
 
 An *item* is ``(patch_data, region_box)``; a batch is a list of items
 whose regions are packed back-to-back in order.
@@ -17,7 +18,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from ..gpu.memory import DeviceArray
+from ..exec.backend import backend_for
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..comm.simcomm import Rank
@@ -28,10 +29,6 @@ __all__ = [
     "unpack_batch",
     "copy_batch_local",
 ]
-
-
-def _is_device(pd) -> bool:
-    return getattr(pd, "RESIDENT", False)
 
 
 def batch_size_bytes(items) -> int:
@@ -45,34 +42,7 @@ def pack_batch(items, rank: "Rank") -> np.ndarray:
     buffer followed by one D2H transfer; host batches use one charged
     CPU pass.
     """
-    total = sum(region.size() for _, region in items)
-    if _is_device(items[0][0]):
-        device = items[0][0].device
-
-        def body():
-            out = dbuf.kernel_view()
-            off = 0
-            for pd, region in items:
-                n = region.size()
-                out[off:off + n] = pd.data.view(region).reshape(-1)
-                off += n
-
-        dbuf = DeviceArray(device, (total,))
-        device.launch("pdat.pack", total, body)
-        host = device.to_host(dbuf)
-        dbuf.free()
-        return host
-
-    def body():
-        out = np.empty(total, dtype=np.float64)
-        off = 0
-        for pd, region in items:
-            n = region.size()
-            out[off:off + n] = pd.data.view(region).reshape(-1)
-            off += n
-        return out
-
-    return rank.cpu_run("pdat.pack", total, body)
+    return backend_for(items[0][0], rank).pack_batch(items)
 
 
 def unpack_batch(buffer: np.ndarray, items, rank: "Rank") -> None:
@@ -80,32 +50,7 @@ def unpack_batch(buffer: np.ndarray, items, rank: "Rank") -> None:
     total = sum(region.size() for _, region in items)
     if buffer.size != total:
         raise ValueError(f"stream size {buffer.size} != batch size {total}")
-    if _is_device(items[0][0]):
-        device = items[0][0].device
-        dbuf = device.from_host(np.ascontiguousarray(buffer))
-
-        def body():
-            src = dbuf.kernel_view()
-            off = 0
-            for pd, region in items:
-                n = region.size()
-                pd.data.view(region)[...] = src[off:off + n].reshape(
-                    tuple(region.shape()))
-                off += n
-
-        device.launch("pdat.unpack", total, body)
-        dbuf.free()
-        return
-
-    def body():
-        off = 0
-        for pd, region in items:
-            n = region.size()
-            pd.data.view(region)[...] = buffer[off:off + n].reshape(
-                tuple(region.shape()))
-            off += n
-
-    rank.cpu_run("pdat.unpack", total, body)
+    backend_for(items[0][0], rank).unpack_batch(buffer, items)
 
 
 def copy_batch_local(items, rank: "Rank") -> None:
@@ -116,13 +61,4 @@ def copy_batch_local(items, rank: "Rank") -> None:
     fused halo-copy kernel (one launch per destination patch per fill),
     which is how tuned implementations amortise launch overheads.
     """
-    total = sum(region.size() for _, _, region in items)
-
-    def body():
-        for dst_pd, src_pd, region in items:
-            dst_pd.data.view(region)[...] = src_pd.data.view(region)
-
-    if _is_device(items[0][0]):
-        items[0][0].device.launch("pdat.copy", total, body)
-    else:
-        rank.cpu_run("pdat.copy", total, body)
+    backend_for(items[0][0], rank).copy_batch(items)

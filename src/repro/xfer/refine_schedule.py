@@ -366,16 +366,12 @@ class RefineSchedule:
         valid = index_box_for(var, self.coarse_level.domain)
         if valid.contains_box(frame):
             return
-        if getattr(temp, "RESIDENT", False):
-            temp.device.launch(
-                "pdat.copy", frame.size(),
-                lambda: clamp_extend(temp.data.full_view(), frame, valid),
-            )
-        else:
-            rank.cpu_run(
-                "pdat.copy", frame.size(),
-                lambda: clamp_extend(temp.data.array, frame, valid),
-            )
+        from ..exec.backend import array_of, run_on
+
+        run_on(
+            temp, rank, "pdat.copy", frame.size(),
+            lambda: clamp_extend(array_of(temp), frame, valid),
+        )
 
     # -- statistics ---------------------------------------------------------------
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from ..comm.simcomm import Message
+from ..exec.backend import backend_for, is_resident
 from ..mesh.box import Box
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -26,10 +27,6 @@ __all__ = ["transfer_region", "MESSAGE_HEADER_BYTES"]
 
 #: envelope overhead per point-to-point message (tag, box, datatype info)
 MESSAGE_HEADER_BYTES = 64
-
-
-def _is_device(pd) -> bool:
-    return getattr(pd, "RESIDENT", False)
 
 
 def transfer_region(
@@ -51,8 +48,8 @@ def transfer_region(
 
     same_rank = src_rank.index == dst_rank.index
     if same_rank:
-        if _is_device(src_pd) == _is_device(dst_pd):
-            if _is_device(dst_pd):
+        if is_resident(src_pd) == is_resident(dst_pd):
+            if is_resident(dst_pd):
                 dst_pd.copy(src_pd, region)  # device copy kernel
             else:
                 src = src_pd
@@ -74,17 +71,8 @@ def transfer_region(
 
 
 def _pack(src_pd: "PatchData", region: Box, src_rank: "Rank"):
-    if _is_device(src_pd):
-        return src_pd.pack_stream(region)  # device kernel + D2H, self-charging
-    return src_rank.cpu_run(
-        "pdat.pack", region.size(), lambda: src_pd.pack_stream(region)
-    )
+    return backend_for(src_pd, src_rank).pack_region(src_pd, region)
 
 
 def _unpack(dst_pd: "PatchData", buf, region: Box, dst_rank: "Rank") -> None:
-    if _is_device(dst_pd):
-        dst_pd.unpack_stream(buf, region)  # H2D + device kernel, self-charging
-    else:
-        dst_rank.cpu_run(
-            "pdat.unpack", region.size(), lambda: dst_pd.unpack_stream(buf, region)
-        )
+    backend_for(dst_pd, dst_rank).unpack_region(dst_pd, buf, region)

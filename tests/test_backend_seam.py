@@ -1,0 +1,72 @@
+"""Guard tests for the execution-backend seam.
+
+The whole point of ``repro.exec`` is that residency is decided in exactly
+one place.  These tests grep the source tree so the seam cannot silently
+re-fragment: any new ``getattr(pd, "RESIDENT", ...)`` or ``RESIDENT =``
+dispatch outside the exec package and the two patch-data packages is a
+regression, caught in CI.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: the only places allowed to know about the RESIDENT class attribute
+ALLOWED = ("exec", "pdat", "cupdat")
+
+DISPATCH_PATTERNS = [
+    re.compile(r'getattr\(\s*\w+\s*,\s*["\']RESIDENT["\']'),
+    re.compile(r"\bRESIDENT\b\s*="),
+    # any other direct use of the residency flag counts as dispatch too
+    re.compile(r"\bRESIDENT\b"),
+]
+
+
+def _source_files_outside_seam():
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC)
+        if rel.parts and rel.parts[0] in ALLOWED:
+            continue
+        yield path
+
+
+def test_src_layout_assumption():
+    assert SRC.is_dir(), f"expected package source at {SRC}"
+    assert (SRC / "exec" / "backend.py").is_file()
+
+
+@pytest.mark.parametrize("pattern", DISPATCH_PATTERNS, ids=lambda p: p.pattern)
+def test_no_residency_dispatch_outside_seam(pattern):
+    offenders = []
+    for path in _source_files_outside_seam():
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            if pattern.search(line):
+                offenders.append(f"{path.relative_to(SRC)}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "residency dispatch leaked outside repro/exec, repro/pdat, "
+        "repro/cupdat — route it through a Backend instead:\n"
+        + "\n".join(offenders)
+    )
+
+
+def test_backends_are_the_only_launch_dispatchers():
+    """`device.launch(` outside exec/ should only appear in the gpu runtime
+    itself and in the data packages (whose ops are self-charging)."""
+    pattern = re.compile(r"\.device\.launch\(")
+    offenders = []
+    for path in _source_files_outside_seam():
+        rel = path.relative_to(SRC)
+        if rel.parts[0] in ("gpu",):
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            if pattern.search(line):
+                offenders.append(f"{rel}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "direct device.launch dispatch outside the exec seam:\n"
+        + "\n".join(offenders)
+    )

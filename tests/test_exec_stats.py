@@ -1,0 +1,129 @@
+"""Tests for the backend observability layer (repro.exec.stats)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import make_communicator
+from repro.exec.stats import (
+    ExecStats,
+    attribution_report,
+    combined_stats,
+    kernel_category,
+)
+from repro.mesh.box import Box, IntVector
+
+
+def box2(nx, ny):
+    return Box(IntVector((0, 0)), IntVector((nx - 1, ny - 1)))
+
+
+class TestExecStats:
+    def test_record_and_totals(self):
+        s = ExecStats()
+        s.record_kernel("hydro.pdv", 100, 0.5, "gpu")
+        s.record_kernel("hydro.pdv", 50, 0.25, "gpu")
+        s.record_kernel("hydro.pdv", 10, 0.1, "cpu")
+        s.record_transfer("d2h", 800, 0.01)
+        c = s.kernels[("gpu", "hydro.pdv")]
+        assert (c.launches, c.elements, c.seconds) == (2, 150, 0.75)
+        assert s.kernels[("cpu", "hydro.pdv")].launches == 1
+        assert s.kernel_seconds == pytest.approx(0.85)
+        assert s.transfer_seconds == pytest.approx(0.01)
+
+    def test_merge_and_reset(self):
+        a, b = ExecStats(), ExecStats()
+        a.record_kernel("k", 1, 1.0, "cpu")
+        b.record_kernel("k", 2, 2.0, "cpu")
+        b.record_transfer("h2d", 8, 0.1)
+        merged = combined_stats([a, b])
+        assert merged.kernels[("cpu", "k")].launches == 2
+        assert merged.transfers["h2d"].bytes == 8
+        merged.reset()
+        assert not merged.kernels and not merged.transfers
+
+    def test_kernel_categories(self):
+        assert kernel_category("hydro.pdv") == "hydro"
+        assert kernel_category("hydro.calc_dt") == "timestep"
+        assert kernel_category("pdat.pack") == "data-motion"
+        assert kernel_category("geom.refine") == "data-motion"
+        assert kernel_category("regrid.tag") == "regrid"
+        assert kernel_category("mystery") == "other"
+
+    def test_report_renders(self):
+        s = ExecStats()
+        s.record_kernel("hydro.pdv", 100, 0.5, "gpu")
+        s.record_transfer("d2h", 1000, 0.02)
+        text = "\n".join(attribution_report(s, timers={"hydro": 0.5}))
+        assert "hydro.pdv" in text
+        assert "d2h" in text
+        assert "virtual time" in text
+
+
+class TestRankRecording:
+    def test_cpu_run_records(self):
+        comm = make_communicator("IPA", 1, gpus=False)
+        rank = comm.rank(0)
+        rank.cpu_run("pdat.copy", 64, lambda: None)
+        c = rank.exec_stats.kernels[("cpu", "pdat.copy")]
+        assert c.launches == 1 and c.elements == 64 and c.seconds > 0
+
+    def test_device_shares_rank_sink(self):
+        comm = make_communicator("IPA", 1, gpus=True)
+        rank = comm.rank(0)
+        assert rank.device.exec_stats is rank.exec_stats
+        rank.device.launch("pdat.fill", 128, lambda: None)
+        assert rank.exec_stats.kernels[("gpu", "pdat.fill")].launches == 1
+
+    def test_memcpy_directions_recorded(self):
+        comm = make_communicator("IPA", 1, gpus=True)
+        rank = comm.rank(0)
+        host = np.zeros(16)
+        darr = rank.device.from_host(host)
+        rank.device.to_host(darr)
+        assert rank.exec_stats.transfers["h2d"].bytes == host.nbytes
+        assert rank.exec_stats.transfers["d2h"].bytes == host.nbytes
+        assert rank.exec_stats.transfers["h2d"].count == 1
+
+    def test_exec_stats_agree_with_device_stats(self):
+        comm = make_communicator("IPA", 1, gpus=True)
+        rank = comm.rank(0)
+        darr = rank.device.from_host(np.zeros(32))
+        rank.device.launch("pdat.fill", 32, lambda: None)
+        rank.device.to_host(darr)
+        gpu_seconds = sum(
+            c.seconds for (res, _), c in rank.exec_stats.kernels.items()
+            if res == "gpu"
+        )
+        assert gpu_seconds == pytest.approx(rank.device.stats.kernel_seconds)
+        assert rank.exec_stats.transfer_seconds == pytest.approx(
+            rank.device.stats.transfer_seconds
+        )
+        assert rank.exec_stats.transfers["h2d"].bytes == rank.device.stats.bytes_h2d
+
+
+class TestBackendDispatch:
+    def test_backend_for_follows_data(self):
+        from repro.exec.backend import backend_for
+        from repro.mesh.variables import CudaDataFactory, HostDataFactory, Variable
+
+        comm = make_communicator("IPA", 1, gpus=True)
+        rank = comm.rank(0)
+        var = Variable("q", "cell", 2)
+        host_pd = HostDataFactory().allocate(var, box2(8, 8), rank)
+        dev_pd = CudaDataFactory().allocate(var, box2(8, 8), rank)
+        assert backend_for(host_pd, rank) is rank.host_backend
+        assert backend_for(dev_pd, rank) is rank.resident_backend
+
+    def test_nonresident_backend_requires_device(self):
+        comm = make_communicator("IPA", 1, gpus=False)
+        with pytest.raises(ValueError, match="needs a device"):
+            comm.rank(0).nonresident_backend
+
+    def test_stats_report_api(self):
+        comm = make_communicator("IPA", 1, gpus=False)
+        rank = comm.rank(0)
+        rank.cpu_run("hydro.pdv", 10, lambda: None)
+        report = rank.host_backend.stats_report()
+        assert "hydro.pdv" in report and "kernel attribution" in report
