@@ -1,83 +1,101 @@
 """Future-work feature (paper §VI): overlapping PCIe transfer and compute.
 
 The paper proposes "overlapping data transfer and computation" to hide
-PCIe cost.  The simulated runtime supports exactly the CUDA mechanism this
-needs — async copies on a second stream plus events — so this bench
-quantifies the benefit on a representative pattern: per patch, pack+D2H of
-a halo while the next patch's compute kernel runs.
+PCIe cost.  That feature now exists: :mod:`repro.sched` turns each
+timestep into a task DAG and, with ``overlap=True``, runs the halo
+pack/D2H/send/recv/H2D/unpack pipeline on per-rank copy-engine streams
+with event ordering while compute keeps the default stream busy.  This
+ablation runs the *real* scheduler — not a standalone model — on a
+refined multi-rank Sod problem with overlap off and on, and checks that
+hiding the transfers changes modelled time only, never the solution.
 """
 
 import numpy as np
 import pytest
 
-from repro.gpu.device import K20X, Device
-from repro.gpu.memory import DeviceArray
-from repro.gpu.stream import Event
-from repro.util.clock import VirtualClock
+from repro.app import RunConfig, run_simulation
+from repro.exec.stats import combined_stats
+from repro.hydro.diagnostics import gather_level_field
+from repro.hydro.problems import SodProblem
 
-from _report import emit, table
+from _report import FULL, QUICK_STEPS, emit, table
 
-NPATCHES = 16
-CELLS = 256 * 256
-HALO_BYTES = 4 * 256 * 2 * 8  # 4 faces, 2 deep
+RESOLUTION = (96, 96) if FULL else (48, 48)
+NRANKS = 4
+STEPS = 24 if FULL else QUICK_STEPS
+FIELDS = ("density0", "energy0", "pressure", "xvel0", "yvel0")
 
 
-def run_sequence(overlap: bool) -> float:
-    """Model one sweep: per patch, a compute kernel + a halo D2H."""
-    device = Device(K20X, VirtualClock())
-    copy_stream = device.create_stream() if overlap else None
-    arrays = [DeviceArray(device, (CELLS,)) for _ in range(NPATCHES)]
-    halo = np.empty(HALO_BYTES // 8)
-    for arr in arrays:
-        device.launch("hydro.advec_cell", CELLS, lambda: None)
-        if overlap:
-            # Async D2H on the copy stream; compute continues on default.
-            staged = DeviceArray(device, (HALO_BYTES // 8,))
-            device.memcpy_dtoh(halo, staged, stream=copy_stream)
-            staged.free()
-        else:
-            staged = DeviceArray(device, (HALO_BYTES // 8,))
-            device.memcpy_dtoh(halo, staged)  # synchronous: blocks the host
-            staged.free()
-    if overlap:
-        copy_stream.synchronize()
-    device.synchronize()
-    return device.host_clock.time
+def run_case(overlap: bool):
+    cfg = RunConfig(
+        problem=SodProblem(RESOLUTION),
+        nranks=NRANKS,
+        max_levels=2,
+        max_patch_size=RESOLUTION[0] // 4,
+        regrid_interval=4,
+        max_steps=STEPS,
+        use_scheduler=True,
+        overlap=overlap,
+    )
+    return run_simulation(cfg)
 
 
 @pytest.fixture(scope="module")
 def results():
-    return {"sync": run_sequence(False), "overlap": run_sequence(True)}
+    return {"off": run_case(False), "on": run_case(True)}
 
 
 def test_overlap_table(results, benchmark):
+    off, on = results["off"], results["on"]
+
     def render():
+        rows = []
+        for label, r in (("overlap off (blocking)", off),
+                         ("overlap on (copy streams)", on)):
+            rows.append([label, f"{r.runtime:.6f}", f"{r.grind_time:.3e}",
+                         f"{r.timers.get('hydro', 0.0):.6f}",
+                         f"{r.timers.get('timestep', 0.0):.6f}"])
         return table(
-            "Future work SVI: overlapping transfer and compute "
-            f"({NPATCHES} patches, {CELLS} cells each, modelled)",
-            ["strategy", "time (s)"],
-            [["synchronous copies", f"{results['sync']:.6f}"],
-             ["async copy stream", f"{results['overlap']:.6f}"]],
+            "Future work SVI: stream-overlapped halo exchange "
+            f"(Sod {RESOLUTION[0]}x{RESOLUTION[1]}, {NRANKS} ranks, "
+            f"2 levels, {STEPS} steps, task-graph scheduler)",
+            ["configuration", "runtime (s)", "grind (s/cell/step)",
+             "hydro (s)", "timestep (s)"],
+            rows,
         )
+
     lines = benchmark(render)
-    gain = results["sync"] / results["overlap"]
-    lines.append(f"overlap speedup: {gain:.2f}x "
-                 "(PCIe latency hides behind compute)")
+    stats = combined_stats(r.exec_stats for r in on.sim.comm.ranks)
+    o = stats.overlap
+    lines.append(
+        f"overlap speedup: {off.runtime / on.runtime:.2f}x grind "
+        f"({off.grind_time:.3e} -> {on.grind_time:.3e} s/cell/step)")
+    lines.append(
+        f"overlap won    : {o.hidden_seconds:.6f}s of {o.async_seconds:.6f}s "
+        f"async transfer hidden under compute ({o.exposed_seconds:.6f}s exposed)")
+    lines.append(
+        "note: most of the win comes from taking PCIe off the compute "
+        "stream (blocking copies drag it); 'hidden' counts only transfer "
+        "time fully covered by concurrent kernels")
     emit("ablation_overlap", lines)
 
 
-def test_overlap_is_faster(results):
-    assert results["overlap"] < results["sync"]
+def test_overlap_improves_grind(results):
+    assert results["on"].grind_time < results["off"].grind_time
 
 
-def test_event_ordering_correctness():
-    """The Fig. 5a pattern: dependent work waits only for its event."""
-    device = Device(K20X, VirtualClock())
-    fine = device.create_stream()
-    coarse = device.create_stream()
-    device.launch("geom.refine", 10**6, lambda: None, stream=fine)
-    ev = Event()
-    ev.record(fine)
-    coarse.wait_event(ev)
-    device.launch("geom.coarsen", 10, lambda: None, stream=coarse)
-    assert coarse.clock.time >= ev.timestamp
+def test_overlap_charges_copy_streams(results):
+    stats = combined_stats(r.exec_stats for r in results["on"].sim.comm.ranks)
+    assert stats.overlap.async_seconds > 0.0
+    assert any(label in stats.streams for label in ("d2h", "h2d"))
+
+
+def test_overlap_solution_bitwise_identical(results):
+    """Overlap changes virtual clocks only — never the physics."""
+    off, on = results["off"].sim, results["on"].sim
+    assert off.hierarchy.num_levels == on.hierarchy.num_levels
+    for lnum in range(off.hierarchy.num_levels):
+        for field in FIELDS:
+            a = gather_level_field(off.hierarchy.level(lnum), field)
+            b = gather_level_field(on.hierarchy.level(lnum), field)
+            assert np.array_equal(a, b, equal_nan=True)

@@ -16,8 +16,6 @@ Reproduction: the same problem with a reduced constant per-node coarse
 block.  Node counts to 64 by default, 1,024 with REPRO_FULL=1.
 """
 
-import math
-
 import pytest
 
 from repro.app import RunConfig, run_simulation

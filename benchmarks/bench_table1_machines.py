@@ -5,8 +5,6 @@ equivalent of the paper's platform table — and checks the modelled numbers
 that the other benchmarks depend on (bandwidth ratios, PCIe, interconnect).
 """
 
-import pytest
-
 from repro.perf.machines import GEMINI, FDR_INFINIBAND, IPA, TITAN
 
 from _report import emit, table

@@ -40,6 +40,9 @@ class RunConfig:
     regrid_interval: int = 5
     max_steps: int | None = None
     end_time: float | None = None
+    use_scheduler: bool = False    # timesteps as task graphs (repro.sched)
+    overlap: bool = False          # stream-overlapped halo exchange (implies
+                                   # use_scheduler); changes time, not bits
 
     def simulation_config(self) -> SimulationConfig:
         return SimulationConfig(
@@ -48,6 +51,8 @@ class RunConfig:
             max_patch_size=self.max_patch_size,
             regrid=RegridConfig(regrid_interval=self.regrid_interval),
             gamma=self.problem.gamma,
+            use_scheduler=self.use_scheduler,
+            overlap=self.overlap,
         )
 
 

@@ -44,6 +44,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--regrid-interval", type=int, default=5)
     p.add_argument("--steps", type=int, default=None)
     p.add_argument("--end-time", type=float, default=None)
+    p.add_argument("--scheduler", action="store_true",
+                   help="drive timesteps through the task-graph scheduler "
+                        "(bitwise identical to the serial path)")
+    p.add_argument("--overlap", action="store_true",
+                   help="overlap halo transfers with compute on per-rank "
+                        "copy streams (implies --scheduler)")
     p.add_argument("--profile", action="store_true",
                    help="print the per-kernel / per-transfer attribution "
                         "table collected at the execution-backend seam")
@@ -76,11 +82,15 @@ def main(argv=None) -> int:
         max_steps=args.steps if args.steps is not None else (
             None if args.end_time is not None else 20),
         end_time=args.end_time,
+        use_scheduler=args.scheduler or args.overlap,
+        overlap=args.overlap,
     )
     build = ("CPU" if not use_gpu
              else "GPU resident" if cfg.resident else "GPU copy-per-kernel")
+    mode = ("" if not cfg.use_scheduler else
+            ", task-graph scheduler" + (" + overlap" if cfg.overlap else ""))
     print(f"running {args.problem} on {args.nodes} {machine} node(s), "
-          f"{nranks} rank(s), {build} build")
+          f"{nranks} rank(s), {build} build{mode}")
     res = run_simulation(cfg)
     sim = res.sim
 

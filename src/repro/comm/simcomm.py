@@ -20,7 +20,7 @@ from ..perf.machines import CpuSpec, NetworkSpec
 from ..util.clock import VirtualClock
 from ..util.timer import TimerRegistry
 
-__all__ = ["Rank", "SimCommunicator", "Message"]
+__all__ = ["Rank", "SimCommunicator", "Message", "SendHandle"]
 
 
 @dataclass
@@ -30,6 +30,19 @@ class Message:
     src: int
     dst: int
     nbytes: int
+
+
+@dataclass
+class SendHandle:
+    """Completion handle of a non-blocking send (``MPI_Request``).
+
+    ``done`` is the virtual time at which the sender's NIC finishes
+    serialising the message — the earliest moment the receiver can own
+    the payload.
+    """
+
+    msg: Message
+    done: float
 
 
 class Rank:
@@ -105,6 +118,8 @@ class SimCommunicator:
             raise ValueError("need at least one rank")
         self.network = network
         self.ranks = [Rank(i, cpu, gpu) for i in range(nranks)]
+        #: per-rank NIC timelines for the non-blocking send endpoints
+        self._nic_done = [0.0] * nranks
 
     @property
     def size(self) -> int:
@@ -158,6 +173,34 @@ class SimCommunicator:
             t += hops * self.network.message_cost(nbytes)
         for r in self.ranks:
             r.clock.advance_to(t)
+
+    # -- non-blocking point-to-point endpoints ---------------------------------
+
+    def isend(self, msg: Message) -> SendHandle:
+        """Post a non-blocking send (``MPI_Isend``).
+
+        The sender's NIC serialises its messages (latency + bytes per
+        message, as in :meth:`exchange`) starting no earlier than the
+        sender's current host time, but the sender's *host clock does not
+        block* — it only learns the completion time via the handle.
+        Self-messages complete immediately (on-node copies are charged by
+        the data-motion kernels themselves).
+        """
+        if msg.src == msg.dst:
+            return SendHandle(msg, self.ranks[msg.src].clock.time)
+        start = max(self._nic_done[msg.src], self.ranks[msg.src].clock.time)
+        done = start + self.network.message_cost(msg.nbytes)
+        self._nic_done[msg.src] = done
+        return SendHandle(msg, done)
+
+    def wait_recv(self, handle: SendHandle) -> None:
+        """Block the receiver until the message has arrived (``MPI_Wait``)."""
+        self.ranks[handle.msg.dst].clock.advance_to(handle.done)
+
+    def wait_all_sends(self) -> None:
+        """Every rank waits for its own posted sends (``MPI_Waitall``)."""
+        for r, done in zip(self.ranks, self._nic_done):
+            r.clock.advance_to(done)
 
     # -- neighbourhood exchange ------------------------------------------------
 

@@ -161,11 +161,22 @@ class Backend(abc.ABC):
 
     # -- transfers ------------------------------------------------------------
 
-    def charge_transfer(self, direction: str, nbytes: int) -> None:
+    def charge_transfer(self, direction: str, nbytes: int,
+                        stream=None) -> None:
         """Charge a raw PCIe transfer (reduced scalars, tag words).
 
-        No-op on host backends: host data never crosses the bus.
+        ``stream`` selects an async copy timeline (device backends only);
+        None models the blocking host path.  No-op on host backends: host
+        data never crosses the bus.
         """
+
+    def lane_stream(self, lane: str):
+        """The device stream backing a scheduler lane (``d2h``/``h2d``).
+
+        None on host backends — host data motion has no second timeline
+        to overlap onto, so every lane collapses onto the host clock.
+        """
+        return None
 
     def write_frame(self, pd, host: np.ndarray) -> None:
         """Overwrite the full frame of ``pd`` from a host array."""
@@ -224,6 +235,30 @@ class Backend(abc.ABC):
 
         self._cpu("pdat.copy", total, body)
 
+    # -- staged batch transfers (the task-graph decomposition) ----------------
+    #
+    # ``pack_batch``/``unpack_batch`` are single blocking calls; the
+    # scheduler needs the same work split into pipeline stages so the PCIe
+    # legs can run on copy streams: pack → staging, staging → host (D2H),
+    # host → staging (H2D), staging → unpack.  On host backends the
+    # staging buffer *is* the host buffer and the copy legs are free.
+
+    def pack_batch_staged(self, items):
+        """Pack a batch into a staging buffer on the data's resource."""
+        return self.pack_batch(items)
+
+    def copy_out(self, staging, stream=None) -> np.ndarray:
+        """Move a staging buffer to host memory (D2H leg; host: no-op)."""
+        return staging
+
+    def copy_in(self, host_buf: np.ndarray, stream=None):
+        """Move a host buffer to a staging buffer (H2D leg; host: no-op)."""
+        return host_buf
+
+    def unpack_batch_staged(self, staging, items) -> None:
+        """Unpack a staging buffer into the batch items, in pack order."""
+        self.unpack_batch(staging, items)
+
     def _cpu(self, kernel: str, elements: int, fn, *args):
         """Run a charged host pass (uncharged when no rank is attached)."""
         if self.rank is not None:
@@ -263,6 +298,7 @@ class ResidentDeviceBackend(Backend):
     def __init__(self, rank: "Rank"):
         super().__init__(rank)
         self.device = rank.device
+        self._lane_streams: dict[str, object] = {}
 
     def allocate(self, var, box):
         return allocate_device(var, box, self.device)
@@ -270,8 +306,16 @@ class ResidentDeviceBackend(Backend):
     def run(self, kernel, elements, fn, *args, reads=(), writes=()):
         return self.device.launch(kernel, elements, fn, *args)
 
-    def charge_transfer(self, direction, nbytes):
-        self.device._charge_transfer(nbytes, None, direction=direction)
+    def lane_stream(self, lane: str):
+        """Copy-engine streams, one per direction (dual-copy-engine GPUs)."""
+        s = self._lane_streams.get(lane)
+        if s is None:
+            s = self.device.create_stream(label=lane)
+            self._lane_streams[lane] = s
+        return s
+
+    def charge_transfer(self, direction, nbytes, stream=None):
+        self.device._charge_transfer(nbytes, stream, direction=direction)
 
     def write_frame(self, pd, host):
         pd.from_host(host)
@@ -309,6 +353,49 @@ class ResidentDeviceBackend(Backend):
                 dst_pd.data.view(region)[...] = src_pd.data.view(region)
 
         self.device.launch("pdat.copy", total, body)
+
+    # -- staged batch transfers ------------------------------------------------
+
+    def pack_batch_staged(self, items):
+        """One pack kernel into one device buffer; the D2H leg is separate."""
+        items = list(items)
+        total = sum(region.size() for _, region in items)
+        dbuf = DeviceArray(self.device, (total,))
+
+        def body():
+            out = dbuf.kernel_view()
+            off = 0
+            for pd, region in items:
+                n = region.size()
+                out[off:off + n] = pd.data.view(region).reshape(-1)
+                off += n
+
+        self.device.launch("pdat.pack", total, body)
+        return dbuf
+
+    def copy_out(self, staging, stream=None):
+        host = self.device.to_host(staging, stream=stream)
+        staging.free()
+        return host
+
+    def copy_in(self, host_buf, stream=None):
+        return self.device.from_host(np.ascontiguousarray(host_buf),
+                                     stream=stream)
+
+    def unpack_batch_staged(self, staging, items):
+        total = sum(region.size() for _, region in items)
+
+        def body():
+            src = staging.kernel_view()
+            off = 0
+            for pd, region in items:
+                n = region.size()
+                pd.data.view(region)[...] = src[off:off + n].reshape(
+                    tuple(region.shape()))
+                off += n
+
+        self.device.launch("pdat.unpack", total, body)
+        staging.free()
 
 
 class NonResidentDeviceBackend(HostBackend):

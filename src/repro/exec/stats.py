@@ -15,6 +15,8 @@ from dataclasses import dataclass
 __all__ = [
     "KernelCounter",
     "TransferCounter",
+    "StreamCounter",
+    "OverlapCounter",
     "ExecStats",
     "combined_stats",
     "kernel_category",
@@ -40,6 +42,33 @@ class TransferCounter:
     seconds: float = 0.0
 
 
+@dataclass
+class StreamCounter:
+    """Busy time accumulated on one device stream timeline."""
+
+    ops: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class OverlapCounter:
+    """Accounting for stream-overlapped transfers (paper §VI).
+
+    ``async_seconds`` is modelled PCIe time charged to copy streams rather
+    than the blocking host path; ``exposed_seconds`` is the part of it the
+    host or compute timeline still had to wait for (event waits and
+    end-of-graph drains).  The difference is transfer time genuinely
+    hidden under compute — the "overlap won" row of the profile.
+    """
+
+    async_seconds: float = 0.0
+    exposed_seconds: float = 0.0
+
+    @property
+    def hidden_seconds(self) -> float:
+        return max(0.0, self.async_seconds - self.exposed_seconds)
+
+
 class ExecStats:
     """Kernel and transfer counters for one rank.
 
@@ -50,6 +79,12 @@ class ExecStats:
     def __init__(self):
         self.kernels: dict[tuple[str, str], KernelCounter] = {}
         self.transfers: dict[str, TransferCounter] = {}
+        self.streams: dict[str, StreamCounter] = {}
+        self.overlap = OverlapCounter()
+        #: per copy-lane high-water mark of virtual time already charged as
+        #: exposed, so overlapping waits (an event wait and the later
+        #: end-of-graph drain covering the same stream interval) count once
+        self._exposed_hwm: dict[str, float] = {}
 
     # -- recording -----------------------------------------------------------
 
@@ -66,9 +101,39 @@ class ExecStats:
         c.bytes += int(nbytes)
         c.seconds += seconds
 
+    def record_stream(self, label: str, seconds: float) -> None:
+        c = self.streams.setdefault(label, StreamCounter())
+        c.ops += 1
+        c.seconds += seconds
+
+    def record_exposed_wait(self, lane: str, before: float, after: float,
+                            cap: float | None = None) -> None:
+        """Charge a wait on a copy-lane timeline as exposed transfer time.
+
+        ``before``/``after`` bracket the waiting clock's advance in virtual
+        time.  The portion already charged for this lane (the high-water
+        mark) is skipped, ``cap`` bounds the charge by the awaited task's
+        own busy seconds (waits also absorb upstream latency baked into
+        event timestamps), and the total is clamped so exposed can never
+        exceed the async seconds actually put on copy streams.
+        """
+        start = max(before, self._exposed_hwm.get(lane, 0.0))
+        if after <= start:
+            return
+        self._exposed_hwm[lane] = after
+        seconds = after - start
+        if cap is not None:
+            seconds = min(seconds, cap)
+        room = self.overlap.async_seconds - self.overlap.exposed_seconds
+        if seconds > 0.0 and room > 0.0:
+            self.overlap.exposed_seconds += min(seconds, room)
+
     def reset(self) -> None:
         self.kernels.clear()
         self.transfers.clear()
+        self.streams.clear()
+        self.overlap = OverlapCounter()
+        self._exposed_hwm.clear()
 
     # -- aggregation -----------------------------------------------------------
 
@@ -83,6 +148,12 @@ class ExecStats:
             mine.count += c.count
             mine.bytes += c.bytes
             mine.seconds += c.seconds
+        for key, c in other.streams.items():
+            mine = self.streams.setdefault(key, StreamCounter())
+            mine.ops += c.ops
+            mine.seconds += c.seconds
+        self.overlap.async_seconds += other.overlap.async_seconds
+        self.overlap.exposed_seconds += other.overlap.exposed_seconds
 
     @property
     def kernel_seconds(self) -> float:
@@ -168,6 +239,21 @@ def attribution_report(stats: ExecStats,
     lines.append("")
     lines += _table("transfer attribution (PCIe / on-device)",
                     ["direction", "count", "MB", "modelled s"], trows)
+
+    if stats.streams:
+        srows = [
+            [label, str(c.ops), f"{c.seconds:.6f}"]
+            for label, c in sorted(stats.streams.items())
+        ]
+        lines.append("")
+        lines += _table("stream busy time",
+                        ["stream", "ops", "busy s"], srows)
+    if stats.overlap.async_seconds > 0.0:
+        o = stats.overlap
+        lines.append(
+            f"overlap won     : {o.hidden_seconds:.6f}s of "
+            f"{o.async_seconds:.6f}s async transfer hidden under compute "
+            f"({o.exposed_seconds:.6f}s exposed)")
 
     by_cat: dict[str, float] = {}
     for (_, name), c in stats.kernels.items():

@@ -81,7 +81,8 @@ class Device:
     ):
         self.spec = spec
         self.host_clock = host_clock if host_clock is not None else VirtualClock()
-        self.default_stream = Stream(self)
+        self._stream_ids = 0
+        self.default_stream = Stream(self, label="compute")
         self.bytes_allocated = 0
         self.stats = DeviceStats()
         #: optional repro.exec.stats.ExecStats sink shared with the owning
@@ -152,8 +153,13 @@ class Device:
 
     # -- streams ----------------------------------------------------------------
 
-    def create_stream(self) -> Stream:
-        return Stream(self)
+    def create_stream(self, label: str | None = None) -> Stream:
+        return Stream(self, label=label)
+
+    def _take_stream_id(self) -> int:
+        sid = self._stream_ids
+        self._stream_ids += 1
+        return sid
 
     def synchronize(self) -> None:
         """``cudaDeviceSynchronize``: host waits for the default stream."""
@@ -188,6 +194,7 @@ class Device:
         )
         if self.exec_stats is not None:
             self.exec_stats.record_kernel(spec.name, elements, cost, "gpu")
+            self.exec_stats.record_stream(stream.label, cost)
 
         with self._kernel_scope():
             return fn(*args)
@@ -228,6 +235,7 @@ class Device:
         s.clock.advance(cost)
         if self.exec_stats is not None:
             self.exec_stats.record_transfer("d2d", src.nbytes, cost)
+            self.exec_stats.record_stream(s.label, cost)
         with self._memcpy_scope():
             dst.kernel_view()[...] = src.kernel_view()
 
@@ -244,6 +252,11 @@ class Device:
             self.stats.transfers_d2h += 1
         if direction is not None and self.exec_stats is not None:
             self.exec_stats.record_transfer(direction, nbytes, cost)
+        if stream is not None and self.exec_stats is not None:
+            # Async copy on a named stream: candidate for hiding under
+            # compute, tracked for the overlap-won accounting.
+            self.exec_stats.record_stream(stream.label, cost)
+            self.exec_stats.overlap.async_seconds += cost
         if stream is None:
             # Synchronous copy: host blocks until all prior work and the
             # transfer itself complete.

@@ -20,15 +20,18 @@ __all__ = ["Stream", "Event"]
 
 
 class Stream:
-    """An in-order device execution timeline."""
+    """An in-order device execution timeline.
 
-    _next_id = 0
+    Stream ids are scoped to the owning device (the first stream of every
+    device — its default stream — is id 0), so ids are stable regardless
+    of how many devices a process has created before this one.
+    """
 
-    def __init__(self, device: "Device"):
+    def __init__(self, device: "Device", label: str | None = None):
         self.device = device
         self.clock = VirtualClock(device.host_clock.time)
-        self.id = Stream._next_id
-        Stream._next_id += 1
+        self.id = device._take_stream_id()
+        self.label = label if label is not None else f"stream{self.id}"
 
     def synchronize(self) -> None:
         """Block the host until all work queued on this stream is done."""
@@ -39,7 +42,7 @@ class Stream:
         self.clock.advance_to(event.timestamp)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"Stream(id={self.id}, t={self.clock.time:.6g}s)"
+        return f"Stream(id={self.id}, {self.label!r}, t={self.clock.time:.6g}s)"
 
 
 class Event:
@@ -48,10 +51,12 @@ class Event:
     def __init__(self):
         self.timestamp = 0.0
         self.recorded = False
+        self.stream: "Stream | None" = None
 
     def record(self, stream: Stream) -> None:
         self.timestamp = stream.clock.time
         self.recorded = True
+        self.stream = stream
 
     def synchronize(self, device: "Device") -> None:
         if not self.recorded:

@@ -62,12 +62,20 @@ class SimulationConfig:
     dt_growth: float = 1.5
     dt_max: float = 1.0e10
     dt_init: float = 1.0e10
+    #: drive timesteps through the task-graph scheduler (repro.sched)
+    #: instead of the serial call sequence; results are bitwise identical
+    use_scheduler: bool = False
+    #: overlap halo transfers with compute on per-rank copy streams
+    #: (implies use_scheduler); changes modelled time only, never bits
+    overlap: bool = False
 
     def __post_init__(self):
         # Fine levels inherit the run's patch-size limit unless the regrid
         # config sets its own.
         if self.regrid.max_patch_size is None:
             self.regrid.max_patch_size = self.max_patch_size
+        if self.overlap:
+            self.use_scheduler = True
 
 
 class LagrangianEulerianIntegrator:
@@ -112,6 +120,7 @@ class LagrangianEulerianIntegrator:
         self.time = 0.0
         self.step_count = 0
         self.dt = None
+        self._step_scheduler = None
 
     # -- spec helpers ---------------------------------------------------------
 
@@ -196,7 +205,8 @@ class LagrangianEulerianIntegrator:
         self._coarsen_schedules.clear()
         self._geometry_cache.clear()
 
-    def _fill_group_level(self, level, names) -> None:
+    def _fill_schedule_for(self, level, names) -> RefineSchedule:
+        """The cached ghost-fill schedule for one (level, name group)."""
         key = (level.level_number, tuple(names))
         sched = self._fill_schedules.get(key)
         if sched is None:
@@ -210,7 +220,10 @@ class LagrangianEulerianIntegrator:
                 geometry_cache=self._geometry_cache,
             )
             self._fill_schedules[key] = sched
-        sched.fill(time=self.time)
+        return sched
+
+    def _fill_group_level(self, level, names) -> None:
+        self._fill_schedule_for(level, names).fill(time=self.time)
 
     def _fill_group(self, group: str) -> None:
         """Fill a halo group on every level, coarsest first."""
@@ -228,7 +241,39 @@ class LagrangianEulerianIntegrator:
     # -- the timestep --------------------------------------------------------------
 
     def step(self) -> float:
-        """Advance the whole hierarchy by one global timestep."""
+        """Advance the whole hierarchy by one global timestep.
+
+        With ``config.use_scheduler`` the step runs as explicit task
+        graphs through :mod:`repro.sched` (bitwise identical to the
+        serial path); otherwise as the serial call sequence below.
+        """
+        if self.config.use_scheduler:
+            dt = self._scheduler().advance()
+        else:
+            dt = self._step_serial()
+
+        self.time += dt
+        self.step_count += 1
+        self.dt = dt
+
+        if (self.config.max_levels > 1
+                and self.step_count % self.config.regrid.regrid_interval == 0):
+            with self._phase("regrid"):
+                self._prepare_for_tagging()
+                self.regridder.regrid(init_level_callback=self._reset_derived)
+                self._invalidate_schedules()
+        return dt
+
+    def _scheduler(self):
+        if self._step_scheduler is None:
+            from ..sched.driver import StepScheduler
+
+            self._step_scheduler = StepScheduler(
+                self, overlap=self.config.overlap)
+        return self._step_scheduler
+
+    def _step_serial(self) -> float:
+        """The legacy serial step: one blocking call after another."""
         pi = self.patch_integrator
 
         with self._phase("hydro"):
@@ -260,16 +305,6 @@ class LagrangianEulerianIntegrator:
         with self._phase("sync"):
             self._synchronise()
 
-        self.time += dt
-        self.step_count += 1
-        self.dt = dt
-
-        if (self.config.max_levels > 1
-                and self.step_count % self.config.regrid.regrid_interval == 0):
-            with self._phase("regrid"):
-                self._prepare_for_tagging()
-                self.regridder.regrid(init_level_callback=self._reset_derived)
-                self._invalidate_schedules()
         return dt
 
     def _prepare_for_tagging(self) -> None:
@@ -307,6 +342,10 @@ class LagrangianEulerianIntegrator:
                 if dt < local[patch.owner]:
                     local[patch.owner] = dt
         dt = self.comm.allreduce_min(local)
+        return self._apply_dt_policy(dt)
+
+    def _apply_dt_policy(self, dt: float) -> float:
+        """Validate a reduced dt and apply the growth/init/max clamps."""
         if not math.isfinite(dt) or dt <= 0.0:
             raise SimulationError(f"invalid timestep {dt} at step {self.step_count}")
         if self.dt is None:
@@ -315,31 +354,32 @@ class LagrangianEulerianIntegrator:
             dt = min(dt, self.config.dt_growth * self.dt)
         return min(dt, self.config.dt_max)
 
+    def _coarsen_schedule_for(self, fine_num: int) -> CoarsenSchedule:
+        """The cached fine-to-coarse sync schedule below ``fine_num``."""
+        sched = self._coarsen_schedules.get(fine_num)
+        if sched is None:
+            specs = [
+                # Energy first: its mass weight is the *pre-sync* fine
+                # density, which coarsening density does not alter, but
+                # keeping the order explicit documents the dependency.
+                CoarsenSpec(self.variables["energy0"], CellMassWeightedCoarsen(),
+                            weight_name="density0"),
+                CoarsenSpec(self.variables["density0"], CellVolumeWeightedCoarsen()),
+                CoarsenSpec(self.variables["xvel0"], NodeInjectionCoarsen()),
+                CoarsenSpec(self.variables["yvel0"], NodeInjectionCoarsen()),
+            ]
+            sched = CoarsenSchedule(
+                self.hierarchy.level(fine_num),
+                self.hierarchy.level(fine_num - 1),
+                specs, self.comm, self.factory,
+            )
+            self._coarsen_schedules[fine_num] = sched
+        return sched
+
     def _synchronise(self) -> None:
         """Fine-to-coarse conservative averaging after the step."""
-        vol = CellVolumeWeightedCoarsen()
-        mass = CellMassWeightedCoarsen()
-        inject = NodeInjectionCoarsen()
         for fine_num in range(self.hierarchy.num_levels - 1, 0, -1):
-            key = fine_num
-            sched = self._coarsen_schedules.get(key)
-            if sched is None:
-                specs = [
-                    # Energy first: its mass weight is the *pre-sync* fine
-                    # density, which coarsening density does not alter, but
-                    # keeping the order explicit documents the dependency.
-                    CoarsenSpec(self.variables["energy0"], mass, weight_name="density0"),
-                    CoarsenSpec(self.variables["density0"], vol),
-                    CoarsenSpec(self.variables["xvel0"], inject),
-                    CoarsenSpec(self.variables["yvel0"], inject),
-                ]
-                sched = CoarsenSchedule(
-                    self.hierarchy.level(fine_num),
-                    self.hierarchy.level(fine_num - 1),
-                    specs, self.comm, self.factory,
-                )
-                self._coarsen_schedules[key] = sched
-            sched.coarsen()
+            self._coarsen_schedule_for(fine_num).coarsen()
 
     def _reset_derived(self, level) -> None:
         """After regrid: recompute EOS on transferred data, zero work arrays."""

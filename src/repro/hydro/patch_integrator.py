@@ -35,6 +35,11 @@ __all__ = ["CleverleafPatchIntegrator", "NonResidentGpuPatchIntegrator"]
 class CleverleafPatchIntegrator:
     """CloverLeaf-scheme integrator over one patch, CPU or GPU resident."""
 
+    #: when set (a :class:`repro.sched.builder.GraphBuilder`), kernel
+    #: launches are *recorded* as graph tasks instead of executed —
+    #: ``_run`` then returns the Task, not the kernel result
+    task_sink = None
+
     def __init__(self, gamma: float = 1.4):
         self.gamma = gamma
 
@@ -49,11 +54,14 @@ class CleverleafPatchIntegrator:
 
     def _run(self, patch: "Patch", rank: "Rank", kernel: str, elements: int,
              body, reads=(), writes=()):
-        return self._backend(patch, rank).run(
-            kernel, elements, body,
-            reads=[patch.data(n) for n in reads],
-            writes=[patch.data(n) for n in writes],
-        )
+        backend = self._backend(patch, rank)
+        read_pds = [patch.data(n) for n in reads]
+        write_pds = [patch.data(n) for n in writes]
+        if self.task_sink is not None:
+            return self.task_sink.kernel_task(
+                backend, rank, kernel, elements, body, read_pds, write_pds)
+        return backend.run(kernel, elements, body,
+                           reads=read_pds, writes=write_pds)
 
     def _geom(self, patch: "Patch"):
         nx, ny = patch.box.shape()
@@ -135,6 +143,10 @@ class CleverleafPatchIntegrator:
                              a["xvel0"], a["yvel0"], nx, ny, g, dx, dy)
 
         dt = self._run(patch, rank, "hydro.calc_dt", nx * ny, body, reads=names)
+        if self.task_sink is not None:
+            # ``dt`` is the kernel Task; chain the readback as a D2H task.
+            return self.task_sink.dt_readback(
+                self._backend(patch, rank), rank, dt)
         # The reduced scalar crosses the PCIe bus (no-op on host backends).
         self._backend(patch, rank).charge_transfer("d2h", 8)
         return dt

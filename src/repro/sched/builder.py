@@ -1,0 +1,173 @@
+"""Graph construction: derive the step DAG from declared data accesses.
+
+The builder is the bridge between the framework's existing call structure
+and the task graph: integrator sweeps and ``xfer`` schedules *emit* tasks
+here instead of executing work, and dependencies are inferred
+automatically from each task's declared patch-data reads and writes
+(RAW, WAR and WAW edges at patch-data granularity), so the schedules
+never hand-thread ordering.
+
+The invariant that makes patch-data granularity sufficient: distinct
+writers of the *same* patch-data object within one graph always touch
+disjoint regions (same-level copies, coarse interpolation and physical
+boundary fills partition the ghost frame), so serialising writers by
+emission order preserves bitwise results under any topological order.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .task import Task, TaskGraph, TaskKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..comm.simcomm import Rank, SimCommunicator
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Builds one phase's :class:`~repro.sched.task.TaskGraph`.
+
+    Also serves as the *task sink* the patch integrator routes kernel
+    launches through while a phase is being recorded (see
+    ``CleverleafPatchIntegrator.task_sink``).
+    """
+
+    def __init__(self, comm: "SimCommunicator"):
+        self.comm = comm
+        self.graph = TaskGraph()
+        self._writer: dict[int, Task] = {}
+        self._readers: dict[int, list[Task]] = {}
+        # Keep every keyed object alive for the graph's lifetime so id()
+        # keys can never be recycled onto new objects mid-build.
+        self._retained: list[object] = []
+
+    # -- generic emission ------------------------------------------------------
+
+    def add(self, kind: TaskKind, rank: int | None, label: str, fn,
+            reads=(), writes=(), after=()) -> Task:
+        """Add a task; dependencies = ``after`` + data edges.
+
+        ``reads``/``writes`` are patch-data (or staging) objects this
+        task's body will touch when it eventually runs.
+        """
+        reads = list(reads)
+        writes = list(writes)
+        deps = list(after)
+        for pd in reads:
+            w = self._writer.get(id(pd))
+            if w is not None:
+                deps.append(w)
+        for pd in writes:
+            w = self._writer.get(id(pd))
+            if w is not None:
+                deps.append(w)
+            deps.extend(self._readers.get(id(pd), ()))
+        task = self.graph.add(kind, rank, label, fn, deps=deps)
+        for pd in reads:
+            self._readers.setdefault(id(pd), []).append(task)
+            self._retained.append(pd)
+        for pd in writes:
+            self._writer[id(pd)] = task
+            self._readers[id(pd)] = []
+            self._retained.append(pd)
+        return task
+
+    # -- kernel sink (patch integrator) ---------------------------------------
+
+    def kernel_task(self, backend, rank: "Rank", kernel: str, elements: int,
+                    body, reads, writes) -> Task:
+        """One compute-kernel launch, dispatched through ``backend``."""
+        return self.add(
+            TaskKind.KERNEL, rank.index, kernel,
+            lambda stream: backend.run(kernel, elements, body,
+                                       reads=reads, writes=writes),
+            reads=reads, writes=writes)
+
+    def dt_readback(self, backend, rank: "Rank", kernel_task: Task) -> Task:
+        """The reduced CFL scalar crossing the PCIe bus after ``calc_dt``.
+
+        Returns a D2H task whose result is the kernel task's dt value, so
+        the reduction can consume it without re-running anything.
+        """
+        def fn(stream):
+            backend.charge_transfer("d2h", 8, stream=stream)
+            return kernel_task.result
+
+        return self.add(TaskKind.D2H, rank.index, "dt.readback", fn,
+                        after=(kernel_task,))
+
+    # -- data-motion emitters (used by the xfer schedules) ---------------------
+
+    def copy(self, rank: "Rank", items, label: str) -> Task:
+        """Fused same-resource copies: ``(dst_pd, src_pd, region)`` items."""
+        from ..xfer.message import copy_batch_local
+
+        return self.add(
+            TaskKind.COPY, rank.index, label,
+            lambda stream: copy_batch_local(items, rank),
+            reads=[src for _, src, _ in items],
+            writes=[dst for dst, _, _ in items])
+
+    def boundary(self, patch, variables, rank: "Rank", boundary,
+                 label: str = "fill.bc") -> Task:
+        """Physical boundary fill on one patch (fused halo kernel)."""
+        pds = [patch.data(v.name) for v in variables]
+        return self.add(
+            TaskKind.KERNEL, rank.index, label,
+            lambda stream: boundary.apply_all(patch, variables, rank),
+            reads=pds, writes=pds)
+
+    def stream_batch(self, src_rank: "Rank", dst_rank: "Rank",
+                     pack_items, unpack_items, label: str) -> Task:
+        """One cross-rank MessageStream as a pipeline of typed stages.
+
+        pack (src compute) → D2H (src copy engine) → send (src NIC) →
+        recv (dst host) → H2D (dst copy engine) → unpack (dst compute).
+        On host-resident data the staging and PCIe legs are no-ops and
+        only the pack/send/recv/unpack stages carry cost.  Returns the
+        unpack task (the stage downstream consumers depend on).
+        """
+        from ..comm.simcomm import Message
+        from ..exec.backend import backend_for
+        from ..xfer.message import batch_size_bytes
+        from ..xfer.transfer import MESSAGE_HEADER_BYTES
+
+        src_backend = backend_for(pack_items[0][0], src_rank)
+        dst_backend = backend_for(unpack_items[0][0], dst_rank)
+        nbytes = batch_size_bytes(pack_items) + MESSAGE_HEADER_BYTES
+        box: dict[str, object] = {}
+
+        def do_pack(stream):
+            box["staging"] = src_backend.pack_batch_staged(pack_items)
+
+        def do_d2h(stream):
+            box["host"] = src_backend.copy_out(box["staging"], stream=stream)
+
+        def do_send(stream):
+            box["req"] = self.comm.isend(
+                Message(src_rank.index, dst_rank.index, nbytes))
+
+        def do_recv(stream):
+            self.comm.wait_recv(box["req"])
+
+        def do_h2d(stream):
+            box["landing"] = dst_backend.copy_in(box["host"], stream=stream)
+
+        def do_unpack(stream):
+            dst_backend.unpack_batch_staged(box["landing"], unpack_items)
+
+        t_pack = self.add(TaskKind.PACK, src_rank.index, f"{label}.pack",
+                          do_pack, reads=[pd for pd, _ in pack_items])
+        t_d2h = self.add(TaskKind.D2H, src_rank.index, f"{label}.d2h",
+                         do_d2h, after=(t_pack,))
+        t_send = self.add(TaskKind.SEND, src_rank.index, f"{label}.send",
+                          do_send, after=(t_d2h,))
+        t_recv = self.add(TaskKind.RECV, dst_rank.index, f"{label}.recv",
+                          do_recv, after=(t_send,))
+        t_h2d = self.add(TaskKind.H2D, dst_rank.index, f"{label}.h2d",
+                         do_h2d, after=(t_recv,))
+        return self.add(TaskKind.UNPACK, dst_rank.index, f"{label}.unpack",
+                        do_unpack, after=(t_h2d,),
+                        writes=[pd for pd, _ in unpack_items])

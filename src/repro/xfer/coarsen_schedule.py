@@ -133,6 +133,74 @@ class CoarsenSchedule:
                     free()
         self.comm.exchange(messages)
 
+    def emit_tasks(self, gb) -> None:
+        """Record this synchronisation into a graph builder.
+
+        Same work and emission order as :meth:`coarsen`: per transaction,
+        one coarsen kernel per variable into a temp, one fused copy or one
+        six-stage message stream to the coarse owner, then a host-side
+        free.  The builder's read/write tracking orders the mass-weighted
+        energy coarsen against any finer level's sync that wrote this
+        level's density interiors earlier in the same graph.
+        """
+        from ..sched.task import TaskKind
+
+        ratio = self.fine_level.ratio_to_coarser
+        for t in self.transactions:
+            fine_rank = self.comm.rank(t.fine_patch.owner)
+            coarse_rank = self.comm.rank(t.coarse_patch.owner)
+            temps = []
+            for spec in self.specs:
+                var = spec.var
+                region = self._region_for(var, t.region)
+                temp_var = Variable(f"_tmp_{var.name}", var.centring, 0, var.axis)
+                temp = self.factory.allocate(
+                    temp_var, temp_box_for(var, region), fine_rank
+                )
+                fine_pd = t.fine_patch.data(var.name)
+                op = spec.coarsen_op
+                if isinstance(op, CellMassWeightedCoarsen):
+                    weight_pd = t.fine_patch.data(spec.weight_name)
+                    reads = [fine_pd, weight_pd]
+
+                    def fn(stream, op=op, f=fine_pd, w=weight_pd, tmp=temp,
+                           r=region, rk=fine_rank):
+                        op.apply_weighted(f, w, tmp, r, ratio, rank=rk)
+                else:
+                    reads = [fine_pd]
+
+                    def fn(stream, op=op, f=fine_pd, tmp=temp, r=region,
+                           rk=fine_rank):
+                        op.apply(f, tmp, r, ratio, rank=rk)
+
+                gb.add(TaskKind.KERNEL, fine_rank.index,
+                       f"sync.coarsen.{var.name}", fn,
+                       reads=reads, writes=[temp])
+                temps.append((spec, temp, region))
+            if fine_rank.index == coarse_rank.index:
+                gb.copy(
+                    coarse_rank,
+                    [(t.coarse_patch.data(s.var.name), temp, region)
+                     for s, temp, region in temps],
+                    "sync.copy")
+            else:
+                gb.stream_batch(
+                    fine_rank, coarse_rank,
+                    [(temp, region) for _, temp, region in temps],
+                    [(t.coarse_patch.data(s.var.name), region)
+                     for s, _, region in temps],
+                    f"sync.L{self.fine_level.level_number}",
+                )
+
+            def free_temps(stream, temps=temps):
+                for _, temp, _ in temps:
+                    free = getattr(temp, "free", None)
+                    if free is not None:
+                        free()
+
+            gb.add(TaskKind.HOST, fine_rank.index, "sync.free", free_temps,
+                   writes=[temp for _, temp, _ in temps])
+
     def _region_for(self, var: Variable, cell_region: Box) -> Box:
         """Coarse centring-space region corresponding to a cell region."""
         return index_box_for(var, cell_region)

@@ -295,6 +295,114 @@ class RefineSchedule:
                 for spec, _ in self.items:
                     dst.data(spec.var.name).set_time(time)
 
+    def emit_tasks(self, gb, time: float | None = None) -> None:
+        """Record this fill into a graph builder (the scheduler path).
+
+        Emits the same work as :meth:`fill`, in the same order, but
+        decomposed into typed tasks: fused local copies, six-stage message
+        streams for cross-rank batches, interpolation gathers + refines,
+        physical BCs, and a final host-side timestamp update.  Dependencies
+        come from the builder's read/write tracking, so any topological
+        order reproduces :meth:`fill` bit for bit.
+        """
+        ranks = self.comm.ranks
+        local: dict = {}   # id(dst) -> (dst, [(dst_pd, src_pd, region)])
+        remote: dict = {}  # (id(src), id(dst)) -> (src, dst, [(name, region)])
+        for spec, geom in self.items:
+            name = spec.var.name
+            for src, dst, region in geom.copies:
+                if src.owner == dst.owner:
+                    entry = local.setdefault(id(dst), (dst, []))
+                    entry[1].append((dst.data(name), src.data(name), region))
+                else:
+                    entry = remote.setdefault((id(src), id(dst)), (src, dst, []))
+                    entry[2].append((name, region))
+        for dst, items in local.values():
+            gb.copy(ranks[dst.owner], items, "fill.copy")
+        for src, dst, named in remote.values():
+            gb.stream_batch(
+                ranks[src.owner], ranks[dst.owner],
+                [(src.data(n), r) for n, r in named],
+                [(dst.data(n), r) for n, r in named],
+                f"fill.L{self.dst_level.level_number}",
+            )
+        for geom, group in self.sig_groups:
+            for ig in geom.interps:
+                self._emit_interp_group(gb, group, ig)
+        if self.boundary is not None:
+            variables = [spec.var for spec, _ in self.items]
+            for dst in self.dst_level:
+                gb.boundary(dst, variables, ranks[dst.owner], self.boundary)
+        if time is not None:
+            from ..sched.task import TaskKind
+
+            for dst in self.dst_level:
+                pds = [dst.data(spec.var.name) for spec, _ in self.items]
+
+                def set_times(stream, pds=pds):
+                    for pd in pds:
+                        pd.set_time(time)
+
+                gb.add(TaskKind.HOST, dst.owner, "fill.set_time", set_times,
+                       reads=pds)
+
+    def _emit_interp_group(self, gb, specs: list[FillSpec],
+                           ig: _InterpGeom) -> None:
+        """Task-graph counterpart of :meth:`_execute_interp_group`."""
+        from ..exec.backend import array_of, backend_for
+        from ..sched.task import TaskKind
+
+        dst_rank = self.comm.rank(ig.dst_patch.owner)
+        temps = []
+        for spec in specs:
+            var = spec.var
+            temp_var = Variable(f"_tmp_{var.name}", var.centring, 0, var.axis)
+            temps.append(self.factory.allocate(
+                temp_var, temp_box_for(var, ig.coarse_frame), dst_rank
+            ))
+
+        local_items = []
+        for src_patch, sub in ig.sources:
+            src_rank = self.comm.rank(src_patch.owner)
+            if src_rank.index == dst_rank.index:
+                for spec, temp in zip(specs, temps):
+                    local_items.append((temp, src_patch.data(spec.var.name), sub))
+            else:
+                gb.stream_batch(
+                    src_rank, dst_rank,
+                    [(src_patch.data(s.var.name), sub) for s in specs],
+                    [(t, sub) for t in temps],
+                    f"fill.interp.L{self.dst_level.level_number}",
+                )
+        if local_items:
+            gb.copy(dst_rank, local_items, "fill.gather")
+
+        for spec, temp in zip(specs, temps):
+            frame = temp.get_ghost_box()
+            valid = index_box_for(spec.var, self.coarse_level.domain)
+            if valid.contains_box(frame):
+                continue
+            gb.kernel_task(
+                backend_for(temp, dst_rank), dst_rank, "pdat.copy",
+                frame.size(),
+                lambda temp=temp, frame=frame, valid=valid: clamp_extend(
+                    array_of(temp), frame, valid),
+                [temp], [temp])
+
+        dst_pds = [ig.dst_patch.data(s.var.name) for s in specs]
+        gb.add(TaskKind.KERNEL, dst_rank.index, "fill.refine",
+               lambda stream: self._fused_refine(specs, temps, ig, dst_rank),
+               reads=temps, writes=dst_pds)
+
+        def free_temps(stream):
+            for temp in temps:
+                free = getattr(temp, "free", None)
+                if free is not None:
+                    free()
+
+        gb.add(TaskKind.HOST, dst_rank.index, "fill.free", free_temps,
+               writes=temps)
+
     def _execute_interp_group(self, specs: list[FillSpec], ig: _InterpGeom,
                               messages) -> None:
         """Interpolate one region for every variable of one signature.

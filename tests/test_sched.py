@@ -1,0 +1,185 @@
+"""Tests for the task-graph scheduler (``repro.sched``).
+
+The subsystem's load-bearing claim is that scheduling is a *timing* choice,
+never a *numerics* choice: task bodies run in a deterministic topological
+order, dependencies are derived from declared patch-data accesses, and any
+valid topological order — including the compute-first order used for
+overlap — produces bitwise-identical fields.  Hypothesis drives the
+tie-break key through random priorities to exercise many valid orders.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.app import RunConfig, build_simulation, run_simulation
+from repro.exec.stats import ExecStats, combined_stats
+from repro.gpu.device import K20X, Device
+from repro.gpu.stream import Event
+from repro.hydro.diagnostics import gather_level_field
+from repro.hydro.problems import SodProblem
+from repro.sched import GraphBuilder, TaskGraph, TaskKind
+from repro.sched.driver import StepScheduler
+from repro.util.clock import VirtualClock
+
+FIELDS = ("density0", "energy0", "pressure", "xvel0", "yvel0")
+
+
+def _config(**overrides) -> RunConfig:
+    base = dict(
+        problem=SodProblem((24, 24)),
+        nranks=2,
+        max_levels=2,
+        max_patch_size=12,
+        regrid_interval=3,
+        max_steps=3,
+    )
+    base.update(overrides)
+    return RunConfig(**base)
+
+
+def _fields(sim):
+    return {
+        (lnum, f): gather_level_field(sim.hierarchy.level(lnum), f)
+        for lnum in range(sim.hierarchy.num_levels)
+        for f in FIELDS
+    }
+
+
+@pytest.fixture(scope="module")
+def serial_run():
+    """The legacy (non-scheduler) path: the bitwise ground truth."""
+    res = run_simulation(_config())
+    return res.steps, _fields(res.sim)
+
+
+# -- order independence (the DAG invariant) ---------------------------------
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_any_topological_order_is_bitwise_identical(serial_run, seed):
+    """Random tie-break priorities explore different valid topological
+    orders; every one of them must reproduce the serial fields exactly."""
+    steps, want = serial_run
+    cfg = _config(use_scheduler=True)
+    sim = build_simulation(cfg)
+    sim.initialise()
+    sim._step_scheduler = StepScheduler(
+        sim, overlap=False,
+        order_key=lambda t: (t.tid * 2654435761 + seed * 97) % 1000003)
+    sim.run(max_steps=cfg.max_steps)
+    assert sim.step_count == steps
+    got = _fields(sim)
+    assert set(got) == set(want)
+    for key in want:
+        assert np.array_equal(want[key], got[key], equal_nan=True), (
+            f"{key} diverged under reordered dispatch (seed {seed})")
+
+
+def test_overlap_mode_is_bitwise_identical(serial_run):
+    steps, want = serial_run
+    res = run_simulation(_config(overlap=True))
+    assert res.steps == steps
+    got = _fields(res.sim)
+    for key in want:
+        assert np.array_equal(want[key], got[key], equal_nan=True), key
+
+
+# -- overlap accounting ------------------------------------------------------
+
+
+def test_overlap_accounting_is_sane(serial_run):
+    steps, _ = serial_run
+    res = run_simulation(_config(overlap=True))
+    stats = combined_stats(r.exec_stats for r in res.sim.comm.ranks)
+    o = stats.overlap
+    assert o.async_seconds > 0.0
+    assert 0.0 <= o.exposed_seconds <= o.async_seconds + 1e-15
+    assert o.hidden_seconds == pytest.approx(
+        o.async_seconds - o.exposed_seconds)
+
+
+def test_exposed_wait_high_water_mark():
+    """Overlapping waits on the same lane interval are charged once."""
+    s = ExecStats()
+    s.overlap.async_seconds = 1.0
+    s.record_exposed_wait("d2h", 0.0, 0.4)
+    assert s.overlap.exposed_seconds == pytest.approx(0.4)
+    s.record_exposed_wait("d2h", 0.2, 0.4)  # fully inside the charged span
+    assert s.overlap.exposed_seconds == pytest.approx(0.4)
+    s.record_exposed_wait("d2h", 0.3, 0.6)  # only the new part counts
+    assert s.overlap.exposed_seconds == pytest.approx(0.6)
+    s.record_exposed_wait("h2d", 0.0, 10.0)  # other lane, clamped to async
+    assert s.overlap.exposed_seconds == pytest.approx(1.0)
+    assert s.overlap.hidden_seconds == 0.0
+
+
+# -- event-based cross-stream ordering (paper Fig. 5a) -----------------------
+
+
+def test_event_ordering_fig5a():
+    """Dependent work on another stream waits for the recorded event."""
+    device = Device(K20X, VirtualClock())
+    fine = device.create_stream("fine")
+    coarse = device.create_stream("coarse")
+    device.launch("geom.refine", 10**6, lambda: None, stream=fine)
+    ev = Event()
+    ev.record(fine)
+    assert ev.stream is fine
+    before = coarse.clock.time
+    coarse.wait_event(ev)
+    device.launch("geom.coarsen", 10, lambda: None, stream=coarse)
+    assert coarse.clock.time >= ev.timestamp >= before
+
+
+def test_stream_ids_scoped_per_device():
+    """Stream ids number per device, not globally (regression: a shared
+    class counter used to leak across Device instances)."""
+    d1 = Device(K20X, VirtualClock())
+    d2 = Device(K20X, VirtualClock())
+    a1, a2 = d1.create_stream(), d1.create_stream()
+    b1, b2 = d2.create_stream(), d2.create_stream()
+    assert (a1.id, a2.id) == (b1.id, b2.id)
+    assert a1.id != a2.id
+
+
+# -- DAG construction --------------------------------------------------------
+
+
+def test_builder_derives_raw_war_waw_edges():
+    gb = GraphBuilder(comm=None)
+    a = object()
+    w1 = gb.add(TaskKind.KERNEL, 0, "w1", lambda s: None, writes=[a])
+    r1 = gb.add(TaskKind.KERNEL, 0, "r1", lambda s: None, reads=[a])
+    w2 = gb.add(TaskKind.KERNEL, 0, "w2", lambda s: None, writes=[a])
+    r2 = gb.add(TaskKind.KERNEL, 0, "r2", lambda s: None, reads=[a])
+    assert w1 in r1.deps                     # RAW
+    assert w1 in w2.deps and r1 in w2.deps   # WAW and WAR
+    assert w2 in r2.deps and w1 not in r2.deps  # reads see the latest writer
+
+
+def test_topological_order_respects_deps_under_any_key():
+    g = TaskGraph()
+    a = g.add(TaskKind.HOST, 0, "a", lambda s: None)
+    b = g.add(TaskKind.HOST, 0, "b", lambda s: None, deps=[a])
+    c = g.add(TaskKind.HOST, 0, "c", lambda s: None, deps=[a])
+    d = g.add(TaskKind.HOST, 0, "d", lambda s: None, deps=[b, c])
+    for key in (None, lambda t: -t.tid, lambda t: (t.tid * 7919) % 13):
+        order = g.topological_order(key)
+        pos = {t.tid: i for i, t in enumerate(order)}
+        assert len(order) == 4
+        for t in (b, c):
+            assert pos[a.tid] < pos[t.tid] < pos[d.tid]
+
+
+def test_cycle_is_detected():
+    g = TaskGraph()
+    a = g.add(TaskKind.HOST, 0, "a", lambda s: None)
+    b = g.add(TaskKind.HOST, 0, "b", lambda s: None, deps=[a])
+    a.deps.append(b)
+    with pytest.raises(ValueError, match="cycle"):
+        g.topological_order()
