@@ -13,7 +13,7 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
     if not _report.EMITTED:
         return
     terminalreporter.section("reproduced paper artefacts")
-    for name, text in _report.EMITTED:
+    for _name, text in _report.EMITTED:
         terminalreporter.write_line("")
         terminalreporter.write_line(text)
     terminalreporter.write_line("")

@@ -43,6 +43,8 @@ class RunConfig:
     use_scheduler: bool = False    # timesteps as task graphs (repro.sched)
     overlap: bool = False          # stream-overlapped halo exchange (implies
                                    # use_scheduler); changes time, not bits
+    sanitize: bool = False         # samrcheck sanitizer (repro.check):
+                                   # observation-only, identical bits
 
     def simulation_config(self) -> SimulationConfig:
         return SimulationConfig(
@@ -53,6 +55,7 @@ class RunConfig:
             gamma=self.problem.gamma,
             use_scheduler=self.use_scheduler,
             overlap=self.overlap,
+            sanitize=self.sanitize,
         )
 
 
@@ -65,6 +68,8 @@ class RunResult:
     steps: int
     cells: int
     timers: dict[str, float]
+    #: sanitize-mode counters (tasks/kernels/graphs checked), None otherwise
+    sanitize_counters: dict[str, int] | None = None
 
     @property
     def grind_time(self) -> float:
@@ -92,16 +97,34 @@ def build_simulation(cfg: RunConfig) -> LagrangianEulerianIntegrator:
 
 def run_simulation(cfg: RunConfig) -> RunResult:
     """Initialise and run to the configured budget; return measurements."""
+    from .check import SanitizeChecker, activate, deactivate
+
     sim = build_simulation(cfg)
-    sim.initialise()
-    start = sim.elapsed()
-    sim.run(max_steps=cfg.max_steps, end_time=cfg.end_time)
+    checker = None
+    if cfg.sanitize:
+        checker = SanitizeChecker()
+        activate(checker)
+    try:
+        sim.initialise()
+        start = sim.elapsed()
+        sim.run(max_steps=cfg.max_steps, end_time=cfg.end_time)
+    finally:
+        if cfg.sanitize:
+            deactivate()
+    counters = None
+    if checker is not None:
+        counters = {
+            "tasks": checker.tasks_checked,
+            "kernels": checker.kernels_checked,
+            "graphs": checker.graphs_checked,
+        }
     return RunResult(
         sim=sim,
         runtime=sim.elapsed() - start,
         steps=sim.step_count,
         cells=sim.total_cells(),
         timers=sim.timer_summary(),
+        sanitize_counters=counters,
     )
 
 

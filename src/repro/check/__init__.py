@@ -1,0 +1,47 @@
+"""``samrcheck``: dynamic and static enforcement of the declared-access
+contract (DESIGN.md §8).
+
+The task-graph scheduler derives every dependency edge from the
+``reads=``/``writes=`` sets callers declare, and the resident design rests
+on all host/device crossings going through the :mod:`repro.exec` seam.
+Nothing in the core framework verifies either claim; this package does:
+
+* :class:`~repro.check.access.SanitizeChecker` — the ``--sanitize`` mode
+  runtime: instrumented array handouts (read-only views for declared
+  reads, shadow logs for undeclared accesses), ghost-generation stamping
+  for stale-halo detection, and a happens-before replay of each executed
+  task DAG that reports undeclared accesses and DAG-concurrent conflicts.
+* :mod:`repro.check.context` — the process-wide activation switch and the
+  seam-scope marker host-side device-data touches are validated against.
+* :mod:`repro.check.lint` — ``python -m repro.check.lint``: a static AST
+  pass enforcing the backend seam and the declaration discipline at every
+  kernel call site.
+
+Everything here is observation-only: with a checker active the simulation
+produces bitwise-identical fields (enforced by tests), and with no checker
+active every hook collapses to a dict lookup returning ``None``.
+"""
+
+from .access import SanitizeChecker
+from .context import activate, active, deactivate, in_seam, seam_scope
+from .errors import (
+    CheckError,
+    DeclaredAccessError,
+    RaceError,
+    ResidencyViolation,
+    StaleHaloError,
+)
+
+__all__ = [
+    "SanitizeChecker",
+    "activate",
+    "active",
+    "deactivate",
+    "in_seam",
+    "seam_scope",
+    "CheckError",
+    "DeclaredAccessError",
+    "RaceError",
+    "ResidencyViolation",
+    "StaleHaloError",
+]

@@ -1,0 +1,40 @@
+"""Violation types raised by the sanitize checker.
+
+Each error corresponds to one clause of the declared-access contract
+(DESIGN.md §8).  They all derive from :class:`CheckError` so callers can
+catch "any sanitizer finding" with a single except clause.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CheckError",
+    "DeclaredAccessError",
+    "RaceError",
+    "ResidencyViolation",
+    "StaleHaloError",
+]
+
+
+class CheckError(RuntimeError):
+    """Base class for every sanitize-mode violation."""
+
+
+class DeclaredAccessError(CheckError):
+    """A kernel or task touched patch data it did not declare, or wrote
+    data it declared read-only."""
+
+
+class RaceError(CheckError):
+    """Two DAG-concurrent tasks (no happens-before path between them)
+    performed conflicting accesses on the same patch data."""
+
+
+class ResidencyViolation(CheckError):
+    """Host code touched device-resident bytes outside the
+    :mod:`repro.exec.backend` seam."""
+
+
+class StaleHaloError(CheckError):
+    """A kernel read ghost regions whose generation is older than the
+    neighbour interior they mirror (a missing or mis-ordered halo fill)."""

@@ -1,0 +1,193 @@
+"""Static seam lint: ``python -m repro.check.lint [paths]``.
+
+An AST pass over the source tree enforcing the two disciplines the
+dynamic checker can only observe at runtime:
+
+* **seam** — patch-data storage internals (``.data.array``, ``.data.view``,
+  ``.data.frame``, ``.data.darr``, ``full_view``, ``to_host``/``from_host``
+  and friends) may only be touched inside the backend seam packages
+  (``exec``, ``pdat``, ``cupdat``, ``gpu``) and this checker.  Everything
+  else must go through :func:`repro.exec.backend.array_of` /
+  :func:`~repro.exec.backend.frame_of` or a Backend method, so residency
+  stays decided in one place.
+* **device** — raw device memory (``DeviceArray``, ``.kernel_view()``)
+  may only be handled by the gpu runtime, the seam, and the device data
+  package.
+* **decl** — every ``Backend.run``/``GraphBuilder.kernel_task`` call site
+  naming a kernel must declare its data accesses (``reads=``/``writes=``),
+  because the scheduler derives dependency edges from exactly those
+  declarations.
+
+A violating line can be waived with a ``# samrcheck: ok`` comment, which
+is itself greppable.  Exit status is the number of violations (0 = clean).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+__all__ = ["lint_file", "lint_paths", "main", "Violation"]
+
+#: directories (relative to the ``repro`` package root) allowed to touch
+#: patch-data storage internals
+SEAM_DIRS = frozenset({"exec", "pdat", "cupdat", "gpu", "check"})
+#: directories allowed to handle raw device memory
+DEVICE_DIRS = frozenset({"gpu", "exec", "cupdat", "check"})
+
+_STORAGE_ATTRS = frozenset({
+    "array", "view", "full_view", "frame", "darr", "device",
+})
+_SEAM_CALLS = frozenset({
+    "to_host", "from_host", "to_host_array", "from_host_array", "full_view",
+})
+_DEVICE_NAMES = frozenset({"DeviceArray"})
+_DEVICE_CALLS = frozenset({"kernel_view"})
+_KERNEL_PREFIXES = ("hydro.", "pdat.", "geom.", "regrid.")
+
+WAIVER = "samrcheck: ok"
+
+
+class Violation:
+    """One lint finding."""
+
+    __slots__ = ("path", "line", "rule", "message")
+
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _package_dir(path: Path) -> str:
+    """First directory under the ``repro`` package root, or ''."""
+    parts = path.parts
+    if "repro" in parts:
+        rest = parts[parts.index("repro") + 1:]
+        return rest[0] if len(rest) > 1 else ""
+    return ""
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: Path, lines: list[str]):
+        self.path = path
+        self.lines = lines
+        self.pkg = _package_dir(path)
+        self.violations: list[Violation] = []
+
+    def _waived(self, node) -> bool:
+        line = self.lines[node.lineno - 1] if node.lineno <= len(self.lines) else ""
+        return WAIVER in line
+
+    def _flag(self, node, rule, message):
+        if not self._waived(node):
+            self.violations.append(
+                Violation(self.path, node.lineno, rule, message))
+
+    # -- seam + device rules ---------------------------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute):
+        # X.data.<storage attr> outside the seam packages
+        if (self.pkg not in SEAM_DIRS
+                and node.attr in _STORAGE_ATTRS
+                and isinstance(node.value, ast.Attribute)
+                and node.value.attr == "data"):
+            self._flag(node, "seam",
+                       f"patch-data storage access '.data.{node.attr}' "
+                       "outside the backend seam — use array_of()/frame_of() "
+                       "or a Backend method")
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name):
+        if self.pkg not in DEVICE_DIRS and node.id in _DEVICE_NAMES:
+            self._flag(node, "device",
+                       f"raw device memory ({node.id}) outside the gpu "
+                       "runtime and the backend seam")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if self.pkg not in SEAM_DIRS and func.attr in _SEAM_CALLS:
+                self._flag(node, "seam",
+                           f"host/device crossing '.{func.attr}()' outside "
+                           "the backend seam — go through repro.exec")
+            if self.pkg not in DEVICE_DIRS and func.attr in _DEVICE_CALLS:
+                self._flag(node, "device",
+                           f"device-memory access '.{func.attr}()' outside "
+                           "the gpu runtime and the backend seam")
+            if func.attr == "run":
+                self._check_run_call(node)
+            elif func.attr == "kernel_task":
+                self._check_kernel_task_call(node)
+        self.generic_visit(node)
+
+    # -- declaration rules -----------------------------------------------------
+
+    def _check_run_call(self, node: ast.Call):
+        """``<backend>.run("pkg.kernel", ...)`` must declare accesses."""
+        if not node.args:
+            return
+        first = node.args[0]
+        if not (isinstance(first, ast.Constant) and isinstance(first.value, str)
+                and first.value.startswith(_KERNEL_PREFIXES)):
+            return
+        kwnames = {kw.arg for kw in node.keywords}
+        if not kwnames & {"reads", "writes"}:
+            self._flag(node, "decl",
+                       f"kernel call site {first.value!r} passes no reads=/"
+                       "writes= declaration — the scheduler derives "
+                       "dependency edges from these")
+
+    def _check_kernel_task_call(self, node: ast.Call):
+        kwnames = {kw.arg for kw in node.keywords}
+        # kernel_task(backend, rank, kernel, elements, body, reads, writes)
+        if len(node.args) < 7 and not kwnames & {"reads", "writes"}:
+            self._flag(node, "decl",
+                       "kernel_task call site passes no reads=/writes= "
+                       "declaration")
+
+
+def lint_file(path: Path) -> list[Violation]:
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as e:
+        return [Violation(path, e.lineno or 0, "parse", str(e))]
+    linter = _Linter(path, source.splitlines())
+    linter.visit(tree)
+    return linter.violations
+
+
+def lint_paths(paths) -> list[Violation]:
+    violations: list[Violation] = []
+    for root in paths:
+        root = Path(root)
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for f in files:
+            violations.extend(lint_file(f))
+    return violations
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        # default: the installed repro package sources
+        args = [str(Path(__file__).resolve().parent.parent)]
+    violations = lint_paths(args)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"{len(violations)} seam-lint violation(s)")
+    else:
+        print("seam lint clean")
+    return min(len(violations), 255)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

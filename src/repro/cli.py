@@ -50,6 +50,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--overlap", action="store_true",
                    help="overlap halo transfers with compute on per-rank "
                         "copy streams (implies --scheduler)")
+    p.add_argument("--sanitize", action="store_true",
+                   help="run with the samrcheck sanitizer: verify declared "
+                        "accesses, replay the DAG's happens-before relation, "
+                        "and flag residency/stale-halo violations (bitwise "
+                        "identical to a normal run; exits non-zero on a "
+                        "violation)")
     p.add_argument("--profile", action="store_true",
                    help="print the per-kernel / per-transfer attribution "
                         "table collected at the execution-backend seam")
@@ -84,14 +90,25 @@ def main(argv=None) -> int:
         end_time=args.end_time,
         use_scheduler=args.scheduler or args.overlap,
         overlap=args.overlap,
+        sanitize=args.sanitize,
     )
     build = ("CPU" if not use_gpu
              else "GPU resident" if cfg.resident else "GPU copy-per-kernel")
     mode = ("" if not cfg.use_scheduler else
             ", task-graph scheduler" + (" + overlap" if cfg.overlap else ""))
+    if cfg.sanitize:
+        mode += ", sanitize"
     print(f"running {args.problem} on {args.nodes} {machine} node(s), "
           f"{nranks} rank(s), {build} build{mode}")
-    res = run_simulation(cfg)
+    try:
+        res = run_simulation(cfg)
+    except Exception as e:
+        from .check.errors import CheckError
+
+        if isinstance(e, CheckError):
+            print(f"\nsanitize: {type(e).__name__}:\n{e}", file=sys.stderr)
+            return 2
+        raise
     sim = res.sim
 
     print(f"\nadvanced {res.steps} steps to t = {sim.time:.5f}; "
@@ -99,6 +116,10 @@ def main(argv=None) -> int:
     s = field_summary(sim.hierarchy)
     print(f"mass = {s['mass']:.6f}  internal = {s['ie']:.6f}  "
           f"kinetic = {s['ke']:.6f}")
+    if res.sanitize_counters is not None:
+        c = res.sanitize_counters
+        print(f"sanitize: clean — {c['tasks']} tasks, {c['kernels']} serial "
+              f"kernels, {c['graphs']} graphs checked")
     print(f"\nmodelled runtime: {res.runtime:.4f}s "
           f"(grind {res.grind_time:.3e} s/cell/step)")
     total = sum(res.timers.get(k, 0.0)

@@ -99,11 +99,25 @@ class CudaArrayData:
 
     def to_host_array(self) -> np.ndarray:
         """Full D2H copy of the frame (charged as a PCIe transfer)."""
+        self._check_seam("to_host_array")
         return self.device.to_host(self.darr)
 
     def from_host_array(self, host: np.ndarray) -> None:
         """Full H2D copy into the frame."""
+        self._check_seam("from_host_array")
         self.device.memcpy_htod(self.darr, np.ascontiguousarray(host, dtype=np.float64))
+
+    def _check_seam(self, op: str) -> None:
+        """Under ``--sanitize``, host mirroring of device-resident bytes is
+        legal only inside the :mod:`repro.exec` backend seam."""
+        from ..check.context import active, in_seam
+        from ..check.errors import ResidencyViolation
+
+        if active() is not None and not in_seam():
+            raise ResidencyViolation(
+                f"host-side {op}() on device-resident storage outside the "
+                "repro.exec backend seam — route the transfer through a "
+                "Backend method (write_frame/read_fields) instead")
 
     def free(self) -> None:
         self.darr.free()

@@ -28,6 +28,9 @@ from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
+from ..check.context import active as _check_active
+from ..check.context import seam_scope
+from ..check.errors import DeclaredAccessError
 from ..gpu.memory import DeviceArray
 from .stats import ExecStats, attribution_report
 
@@ -46,6 +49,7 @@ __all__ = [
     "is_resident",
     "backend_for",
     "array_of",
+    "frame_of",
     "run_on",
     "allocate_host",
     "allocate_device",
@@ -63,11 +67,20 @@ def array_of(pd) -> np.ndarray:
 
     For device-resident data this is a kernel view, legal only inside a
     launch on the owning device — call it from within a backend ``run``
-    body.
+    body.  With a sanitize checker active, handouts inside a declared
+    kernel/task scope are instrumented (read-only views for declared
+    reads, shadow checksums for undeclared accesses).
     """
-    if is_resident(pd):
-        return pd.data.full_view()
-    return pd.data.array
+    arr = pd.data.full_view() if is_resident(pd) else pd.data.array
+    chk = _check_active()
+    if chk is not None:
+        return chk.on_handout(pd, arr)
+    return arr
+
+
+def frame_of(pd) -> "Box":
+    """The index frame (ghost box) of a patch-data object's storage."""
+    return pd.data.frame
 
 
 def allocate_host(var: "Variable", box: "Box") -> "PatchData":
@@ -76,10 +89,13 @@ def allocate_host(var: "Variable", box: "Box") -> "PatchData":
     from ..pdat.side_data import SideData
 
     if var.centring == "cell":
-        return CellData(box, var.ghosts)
-    if var.centring == "node":
-        return NodeData(box, var.ghosts)
-    return SideData(box, var.ghosts, var.axis)
+        pd = CellData(box, var.ghosts)
+    elif var.centring == "node":
+        pd = NodeData(box, var.ghosts)
+    else:
+        pd = SideData(box, var.ghosts, var.axis)
+    pd.var_name = var.name  # debug name used in sanitizer reports
+    return pd
 
 
 def allocate_device(var: "Variable", box: "Box", device) -> "PatchData":
@@ -88,10 +104,13 @@ def allocate_device(var: "Variable", box: "Box", device) -> "PatchData":
     from ..cupdat.cuda_side_data import CudaSideData
 
     if var.centring == "cell":
-        return CudaCellData(box, var.ghosts, device)
-    if var.centring == "node":
-        return CudaNodeData(box, var.ghosts, device)
-    return CudaSideData(box, var.ghosts, var.axis, device)
+        pd = CudaCellData(box, var.ghosts, device)
+    elif var.centring == "node":
+        pd = CudaNodeData(box, var.ghosts, device)
+    else:
+        pd = CudaSideData(box, var.ghosts, var.axis, device)
+    pd.var_name = var.name  # debug name used in sanitizer reports
+    return pd
 
 
 def _interior_box(patch: "Patch", pd) -> "Box":
@@ -147,17 +166,53 @@ class Backend(abc.ABC):
 
     # -- kernel launch --------------------------------------------------------
 
-    @abc.abstractmethod
     def run(self, kernel: str, elements: int, fn, *args,
-            reads: Iterable = (), writes: Iterable = ()):
+            reads: Iterable = (), writes: Iterable = (),
+            ghost_reads: Iterable = (), ghost_only: bool = False,
+            marks: Iterable = ()):
         """Execute ``fn(*args)`` as a kernel over ``elements`` elements.
 
         The modelled cost is charged to the owning rank's clock (and
         device stream, for device backends) and recorded in the rank's
-        :class:`~repro.exec.stats.ExecStats`.  ``reads``/``writes`` list
-        the patch-data operands; only backends that must move data per
-        launch (the non-resident ablation) consume them.
+        :class:`~repro.exec.stats.ExecStats`.  ``reads``/``writes``
+        declare the patch-data operands — the non-resident ablation moves
+        them per launch, the scheduler derives dependency edges from
+        them, and ``--sanitize`` verifies them against actual accesses.
+        ``ghost_reads`` names the operands whose *ghost regions* the
+        kernel stencil reaches, ``ghost_only`` marks a kernel whose
+        writes touch only ghost regions (no interior-generation bump),
+        and ``marks`` carries ghost-stamp directives — all consumed by
+        the checker only.
         """
+        chk = _check_active()
+        if chk is None:
+            return self._launch(kernel, elements, fn, *args,
+                                reads=reads, writes=writes)
+        scope = chk.begin_kernel(kernel, reads, writes,
+                                 ghost_reads=ghost_reads,
+                                 ghost_only=ghost_only, marks=marks)
+        try:
+            result = self._launch(kernel, elements, fn, *args,
+                                  reads=reads, writes=writes)
+        except ValueError as e:
+            chk.abort_kernel(scope)
+            if "read-only" in str(e):
+                names = ", ".join(sorted(chk.name_of(pd) for pd in reads))
+                raise DeclaredAccessError(
+                    f"kernel {kernel!r} wrote an array it declared "
+                    f"read-only (declared reads: {names})") from e
+            raise
+        except Exception:
+            chk.abort_kernel(scope)
+            raise
+        chk.end_kernel(scope)
+        return result
+
+    @abc.abstractmethod
+    def _launch(self, kernel: str, elements: int, fn, *args,
+                reads: Iterable = (), writes: Iterable = ()):
+        """Backend-specific execution of one kernel (cost charging only;
+        the declared-access checking lives in :meth:`run`)."""
 
     # -- transfers ------------------------------------------------------------
 
@@ -170,7 +225,7 @@ class Backend(abc.ABC):
         data never crosses the bus.
         """
 
-    def lane_stream(self, lane: str):
+    def lane_stream(self, lane: str):  # noqa: ARG002 — lane selects a stream on device backends
         """The device stream backing a scheduler lane (``d2h``/``h2d``).
 
         None on host backends — host data motion has no second timeline
@@ -247,11 +302,11 @@ class Backend(abc.ABC):
         """Pack a batch into a staging buffer on the data's resource."""
         return self.pack_batch(items)
 
-    def copy_out(self, staging, stream=None) -> np.ndarray:
+    def copy_out(self, staging, stream=None) -> np.ndarray:  # noqa: ARG002
         """Move a staging buffer to host memory (D2H leg; host: no-op)."""
         return staging
 
-    def copy_in(self, host_buf: np.ndarray, stream=None):
+    def copy_in(self, host_buf: np.ndarray, stream=None):  # noqa: ARG002
         """Move a host buffer to a staging buffer (H2D leg; host: no-op)."""
         return host_buf
 
@@ -285,7 +340,7 @@ class HostBackend(Backend):
     def allocate(self, var, box):
         return allocate_host(var, box)
 
-    def run(self, kernel, elements, fn, *args, reads=(), writes=()):
+    def _launch(self, kernel, elements, fn, *args, reads=(), writes=()):  # noqa: ARG002
         return self._cpu(kernel, elements, fn, *args)
 
 
@@ -303,7 +358,7 @@ class ResidentDeviceBackend(Backend):
     def allocate(self, var, box):
         return allocate_device(var, box, self.device)
 
-    def run(self, kernel, elements, fn, *args, reads=(), writes=()):
+    def _launch(self, kernel, elements, fn, *args, reads=(), writes=()):  # noqa: ARG002
         return self.device.launch(kernel, elements, fn, *args)
 
     def lane_stream(self, lane: str):
@@ -318,7 +373,8 @@ class ResidentDeviceBackend(Backend):
         self.device._charge_transfer(nbytes, stream, direction=direction)
 
     def write_frame(self, pd, host):
-        pd.from_host(host)
+        with seam_scope():
+            pd.from_host(host)
 
     def pack_region(self, pd, region):
         return pd.pack_stream(region)  # device kernel + D2H, self-charging
@@ -417,7 +473,7 @@ class NonResidentDeviceBackend(HostBackend):
             raise ValueError("non-resident GPU integrator needs a device")
         self.device = rank.device
 
-    def run(self, kernel, elements, fn, *args, reads=(), writes=()):
+    def _launch(self, kernel, elements, fn, *args, reads=(), writes=()):
         writes = list(writes)
         for pd in dict.fromkeys([*reads, *writes]):
             self.device._charge_transfer(pd.data.array.nbytes, None,
@@ -484,7 +540,7 @@ def read_patch_fields(patch: "Patch", names) -> dict[str, np.ndarray]:
         host = _fused_pack_to_host(
             device, [(pd, box) for _, pd, box in device_items])
         off = 0
-        for name, pd, box in device_items:
+        for name, _pd, box in device_items:
             n = box.size()
             out[name] = host[off:off + n].reshape(tuple(box.shape()))
             off += n

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..check.context import seam_scope
 from ..mesh.box import Box, IntVector
 from ..pdat.patch_data import PatchData
 
@@ -112,11 +113,13 @@ class DeviceBackedData(BackendPatchData):
 
     def put_to_restart(self, db: dict) -> None:
         super().put_to_restart(db)
-        db["array"] = self.to_host()
+        with seam_scope():
+            db["array"] = self.to_host()
 
     def get_from_restart(self, db: dict) -> None:
         super().get_from_restart(db)
-        self.from_host(db["array"])
+        with seam_scope():
+            self.from_host(db["array"])
 
 
 class CellCentring:
@@ -125,7 +128,7 @@ class CellCentring:
     CENTRING = "cell"
 
     @classmethod
-    def index_box(cls, box: Box, axis: int | None = None) -> Box:
+    def index_box(cls, box: Box, axis: int | None = None) -> Box:  # noqa: ARG003 — side centring needs the axis
         """Interior index box in this centring's index space."""
         return box
 
@@ -137,7 +140,7 @@ class NodeCentring:
     CENTRING = "node"
 
     @classmethod
-    def index_box(cls, box: Box, axis: int | None = None) -> Box:
+    def index_box(cls, box: Box, axis: int | None = None) -> Box:  # noqa: ARG003
         return Box(box.lower, box.upper + IntVector.uniform(1, box.dim))
 
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from ..exec.backend import array_of, run_on
+from ..exec.backend import array_of, frame_of, run_on
 from ..mesh.box import Box, IntVector
 from . import interp_math as m
 
@@ -45,7 +45,7 @@ def _arrays(pd):
     Device arrays are only legally accessible inside the kernel launch, so
     this must be called from within ``body`` for GPU data.
     """
-    return array_of(pd), pd.data.frame
+    return array_of(pd), frame_of(pd)
 
 
 def _as_ratio(ratio) -> IntVector:
@@ -75,7 +75,7 @@ class RefineOperator:
     def _interp(self, carr, cframe, farr, fframe, region, ratio):
         raise NotImplementedError
 
-    def _interp_pd(self, coarse_pd, fine_pd, carr, cframe, farr, fframe,
+    def _interp_pd(self, coarse_pd, fine_pd, carr, cframe, farr, fframe,  # noqa: ARG002 — hook signature; side flavour needs the patch data
                    region, ratio):
         """Array-level interpolation with patch-data context (axis, etc.)."""
         self._interp(carr, cframe, farr, fframe, region, ratio)
@@ -143,7 +143,7 @@ class SideConservativeLinearRefine(RefineOperator):
 
         _run(fine_pd, "geom.refine", region.size(), body, rank)
 
-    def _interp_pd(self, coarse_pd, fine_pd, carr, cframe, farr, fframe,
+    def _interp_pd(self, coarse_pd, fine_pd, carr, cframe, farr, fframe,  # noqa: ARG002
                    region, ratio):
         m.refine_side_conservative_linear(
             carr, cframe, farr, fframe, region, ratio, fine_pd.axis
@@ -207,7 +207,7 @@ class CellMassWeightedCoarsen(CoarsenOperator):
 
         _run(coarse_pd, "geom.coarsen", region.refine(ratio).size(), body, rank)
 
-    def apply(self, fine_pd, coarse_pd, region, ratio, rank=None):
+    def apply(self, fine_pd, coarse_pd, region, ratio, rank=None):  # noqa: ARG002
         raise TypeError("mass-weighted coarsen needs a weight; use apply_weighted")
 
 

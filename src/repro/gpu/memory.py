@@ -52,6 +52,17 @@ class DeviceArray:
             self._freed = True
             self._data = np.empty(0, dtype=self.dtype)
 
+    def _poison(self) -> None:
+        """Fill the buffer with the NaN canary (sanitizer aid).
+
+        Writes the backing store directly — shadow bookkeeping, not a
+        modelled kernel, so it charges nothing and needs no launch scope.
+        A kernel that consumes a fresh or recycled block without writing
+        it first propagates NaNs it cannot miss.
+        """
+        if not self._freed and np.issubdtype(self.dtype, np.floating):
+            self._data.fill(np.nan)
+
     def __del__(self):  # pragma: no cover - GC timing dependent
         try:
             self.free()

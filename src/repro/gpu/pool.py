@@ -1,4 +1,4 @@
-"""Device memory pool: free-list reuse of same-shape allocations.
+"""Memory pool: free-list reuse of same-shape allocations.
 
 ``cudaMalloc``/``cudaFree`` are expensive and synchronise the device; AMR
 codes that allocate temporaries per communication phase (interpolation
@@ -6,6 +6,15 @@ blocks, pack buffers) therefore pool them.  :class:`MemoryPool` keeps
 freed :class:`DeviceArray` buffers bucketed by (shape, dtype) and hands
 them back on the next acquire, tracking hit/miss statistics so benchmarks
 can quantify the win.
+
+A pool built without a device (``MemoryPool()``) serves *host* blocks with
+the same interface, so callers behave identically on both builds.  Every
+leased block — fresh or recycled, host or device — is poisoned with the
+NaN canary before handout: recycled buffers on the two builds previously
+differed (host ``np.empty`` garbage vs stale device bytes), which let
+read-before-write bugs produce build-dependent results.  The poison is
+shadow bookkeeping (direct backing-store writes, uncharged), so pool hits
+still cost zero modelled time.
 """
 
 from __future__ import annotations
@@ -23,17 +32,52 @@ __all__ = ["MemoryPool", "PooledArray"]
 ALLOC_OVERHEAD = 5.0e-6
 
 
-class PooledArray:
-    """A device array leased from a pool; ``release()`` returns it."""
+class _HostBlock:
+    """Host-side stand-in for :class:`DeviceArray` in a host-mode pool."""
 
-    def __init__(self, pool: "MemoryPool", darr: DeviceArray):
+    __slots__ = ("shape", "dtype", "nbytes", "_data", "_freed")
+
+    def __init__(self, shape, dtype=np.float64):
+        self.shape = (tuple(int(s) for s in np.atleast_1d(shape))
+                      if np.isscalar(shape)
+                      else tuple(int(s) for s in shape))
+        self.dtype = np.dtype(dtype)
+        self._data = np.empty(self.shape, dtype=self.dtype)
+        self.nbytes = self._data.nbytes
+        self._freed = False
+
+    def kernel_view(self) -> np.ndarray:
+        if self._freed:
+            raise RuntimeError("use after free of pooled host block")
+        return self._data
+
+    def free(self) -> None:
+        if not self._freed:
+            self._freed = True
+            self._data = np.empty(0, dtype=self.dtype)
+
+    def _poison(self) -> None:
+        if not self._freed and np.issubdtype(self.dtype, np.floating):
+            self._data.fill(np.nan)
+
+
+class PooledArray:
+    """A leased array; ``release()`` returns it to the pool.
+
+    ``generation`` counts handouts of the raw buffer — the sanitizer's
+    proxy for "this lease's contents may have changed since last look".
+    """
+
+    def __init__(self, pool: "MemoryPool", darr):
         self.pool = pool
         self.darr = darr
+        self.generation = 0
         self._released = False
 
     def kernel_view(self) -> np.ndarray:
         if self._released:
             raise RuntimeError("use after release of pooled array")
+        self.generation += 1
         return self.darr.kernel_view()
 
     @property
@@ -51,33 +95,48 @@ class PooledArray:
 
 
 class MemoryPool:
-    """Bucketed free-list of device arrays."""
+    """Bucketed free-list of device (or, with no device, host) arrays."""
 
-    def __init__(self, device: Device, max_bytes: int | None = None):
+    def __init__(self, device: Device | None = None,
+                 max_bytes: int | None = None):
         self.device = device
-        self.max_bytes = (max_bytes if max_bytes is not None
-                          else device.spec.memory_bytes // 4)
-        self._free: dict[tuple, list[DeviceArray]] = defaultdict(list)
+        if max_bytes is not None:
+            self.max_bytes = max_bytes
+        elif device is not None:
+            self.max_bytes = device.spec.memory_bytes // 4
+        else:
+            self.max_bytes = 1 << 30
+        self._free: dict[tuple, list] = defaultdict(list)
         self.cached_bytes = 0
         self.hits = 0
         self.misses = 0
 
     def acquire(self, shape, dtype=np.float64) -> PooledArray:
-        """Lease an array; reuses a cached buffer when shapes match."""
+        """Lease an array; reuses a cached buffer when shapes match.
+
+        The buffer is handed out poisoned (NaN canary) whether it is
+        fresh or recycled, on either build — uninitialised reads behave
+        the same everywhere instead of picking up resource-specific
+        garbage.
+        """
         key = (tuple(int(s) for s in shape), np.dtype(dtype).str)
         bucket = self._free.get(key)
         if bucket:
             darr = bucket.pop()
             self.cached_bytes -= darr.nbytes
             self.hits += 1
-        else:
+        elif self.device is not None:
             # A fresh allocation pays the modelled cudaMalloc cost.
             self.device.host_clock.advance(ALLOC_OVERHEAD)
             darr = DeviceArray(self.device, shape, dtype=dtype)
             self.misses += 1
+        else:
+            darr = _HostBlock(shape, dtype=dtype)
+            self.misses += 1
+        darr._poison()
         return PooledArray(self, darr)
 
-    def _give_back(self, darr: DeviceArray) -> None:
+    def _give_back(self, darr) -> None:
         if self.cached_bytes + darr.nbytes > self.max_bytes:
             darr.free()
             return

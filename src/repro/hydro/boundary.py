@@ -122,5 +122,10 @@ class ReflectiveBoundary:
             frame_shape = patch.data(var.name).get_ghost_box().shape()
             strip += sum(var.ghosts * frame_shape[1 - axis]
                          for axis, _ in touches)
-        pd0 = patch.data(variables[0].name)
-        backend_for(pd0, rank).run("hydro.update_halo", strip, body)
+        pds = [patch.data(var.name) for var in variables]
+        # Ghost-only: reflects interior values into ghost layers, so every
+        # field's interior generation is untouched and its wall ghosts are
+        # refreshed from itself.
+        backend_for(pds[0], rank).run(
+            "hydro.update_halo", strip, body, reads=pds, writes=pds,
+            ghost_only=True, marks=[("stamp", pd, (pd,)) for pd in pds])

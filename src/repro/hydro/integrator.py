@@ -68,6 +68,10 @@ class SimulationConfig:
     #: overlap halo transfers with compute on per-rank copy streams
     #: (implies use_scheduler); changes modelled time only, never bits
     overlap: bool = False
+    #: run with the samrcheck sanitizer active (repro.check): declared
+    #: accesses, happens-before replay, residency and stale-halo checks;
+    #: observation-only, bitwise identical to a normal run
+    sanitize: bool = False
 
     def __post_init__(self):
         # Fine levels inherit the run's patch-size limit unless the regrid
@@ -329,7 +333,8 @@ class LagrangianEulerianIntegrator:
         self._fill_group("mid_advec_x" if direction == 0 else "mid_advec_y")
         for which_vel in (0, 1):
             self._foreach_patch(
-                lambda p, r: pi.advec_mom(p, r, direction, sweep_number, which_vel)
+                lambda p, r, wv=which_vel: pi.advec_mom(
+                    p, r, direction, sweep_number, wv)
             )
 
     def _compute_dt(self) -> float:

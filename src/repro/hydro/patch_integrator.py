@@ -53,15 +53,31 @@ class CleverleafPatchIntegrator:
         return {n: array_of(patch.data(n)) for n in names}
 
     def _run(self, patch: "Patch", rank: "Rank", kernel: str, elements: int,
-             body, reads=(), writes=()):
+             body, reads=(), writes=(), ghost_reads=(), ghost_propagate=None):
+        """Dispatch one kernel with its declared accesses.
+
+        ``ghost_reads`` names the operands whose ghost regions the stencil
+        reaches (validated against halo-fill stamps under ``--sanitize``);
+        ``ghost_propagate`` maps a written field to the ghost-read fields
+        its out-of-interior values are *derived from* (EOS over the frame),
+        so the written field inherits their halo stamps.
+        """
         backend = self._backend(patch, rank)
         read_pds = [patch.data(n) for n in reads]
         write_pds = [patch.data(n) for n in writes]
+        ghost_pds = [patch.data(n) for n in ghost_reads]
+        marks = []
+        if ghost_propagate:
+            for dst, srcs in ghost_propagate.items():
+                marks.append(("propagate", patch.data(dst),
+                              [patch.data(s) for s in srcs]))
         if self.task_sink is not None:
             return self.task_sink.kernel_task(
-                backend, rank, kernel, elements, body, read_pds, write_pds)
+                backend, rank, kernel, elements, body, read_pds, write_pds,
+                ghost_reads=ghost_pds, marks=marks)
         return backend.run(kernel, elements, body,
-                           reads=read_pds, writes=write_pds)
+                           reads=read_pds, writes=write_pds,
+                           ghost_reads=ghost_pds, marks=marks)
 
     def _geom(self, patch: "Patch"):
         nx, ny = patch.box.shape()
@@ -119,7 +135,11 @@ class CleverleafPatchIntegrator:
 
         self._run(patch, rank, "hydro.ideal_gas",
                   (nx + 2 * ext) * (ny + 2 * ext), body,
-                  reads=(dname, ename), writes=("pressure", "soundspeed"))
+                  reads=(dname, ename), writes=("pressure", "soundspeed"),
+                  ghost_reads=(dname, ename) if ext > 0 else (),
+                  ghost_propagate={"pressure": (dname, ename),
+                                   "soundspeed": (dname, ename)}
+                  if ext > 0 else None)
 
     def viscosity(self, patch, rank):
         nx, ny, g, dx, dy = self._geom(patch)
@@ -131,7 +151,8 @@ class CleverleafPatchIntegrator:
                         a["xvel0"], a["yvel0"], nx, ny, g, dx, dy)
 
         self._run(patch, rank, "hydro.viscosity", nx * ny, body,
-                  reads=names[:2] + names[3:], writes=("viscosity",))
+                  reads=names[:2] + names[3:], writes=("viscosity",),
+                  ghost_reads=("pressure",))
 
     def calc_dt(self, patch, rank) -> float:
         nx, ny, g, dx, dy = self._geom(patch)
@@ -178,7 +199,8 @@ class CleverleafPatchIntegrator:
                          nx, ny, g, dx, dy)
 
         self._run(patch, rank, "hydro.accelerate", (nx + 1) * (ny + 1), body,
-                  reads=names[:5], writes=("xvel1", "yvel1"))
+                  reads=names[:5], writes=("xvel1", "yvel1"),
+                  ghost_reads=("density0", "pressure", "viscosity"))
 
     def flux_calc(self, patch, rank, dt: float):
         nx, ny, g, dx, dy = self._geom(patch)
@@ -205,10 +227,14 @@ class CleverleafPatchIntegrator:
                          a["pre_vol"], a["post_vol"], a["ener_flux"],
                          nx, ny, g, dx, dy)
 
+        # The body hands out both mass-flux arrays; only the swept
+        # direction's is written, the other is declared a (vacuous) read.
         self._run(patch, rank, "hydro.advec_cell", nx * ny, body,
-                  reads=names[:4],
+                  reads=names[:4] + (("mass_flux_y",) if direction == 0
+                                     else ("mass_flux_x",)),
                   writes=("density1", "energy1", "mass_flux_x" if direction == 0
-                          else "mass_flux_y", "pre_vol", "post_vol", "ener_flux"))
+                          else "mass_flux_y", "pre_vol", "post_vol", "ener_flux"),
+                  ghost_reads=names[:4])
 
     def advec_mom(self, patch, rank, direction: int, sweep_number: int,
                   which_vel: int):
@@ -227,8 +253,13 @@ class CleverleafPatchIntegrator:
                         a["node_mass_pre"], a["mom_flux"],
                         a["pre_vol"], a["post_vol"], nx, ny, g, dx, dy)
 
+        mass_flux = "mass_flux_x" if direction == 0 else "mass_flux_y"
         self._run(patch, rank, "hydro.advec_mom", (nx + 1) * (ny + 1), body,
-                  reads=names[1:6], writes=(vel_name,))
+                  reads=names[1:6],
+                  writes=(vel_name, "node_flux", "node_mass_post",
+                          "node_mass_pre", "mom_flux", "pre_vol", "post_vol"),
+                  ghost_reads=(vel_name, "density1", "vol_flux_x",
+                               "vol_flux_y", mass_flux))
 
     def reset_field(self, patch, rank):
         nx, ny, g, dx, dy = self._geom(patch)
@@ -255,5 +286,5 @@ class NonResidentGpuPatchIntegrator(CleverleafPatchIntegrator):
     the PCIe bus.
     """
 
-    def _backend(self, patch, rank):
+    def _backend(self, patch, rank):  # noqa: ARG002 — hook signature; resident flavour dispatches on patch
         return rank.nonresident_backend

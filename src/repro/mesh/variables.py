@@ -69,7 +69,7 @@ class HostDataFactory:
 
     location = "host"
 
-    def allocate(self, var: Variable, box: "Box", rank) -> "PatchData":
+    def allocate(self, var: Variable, box: "Box", rank) -> "PatchData":  # noqa: ARG002
         return allocate_host(var, box)
 
 

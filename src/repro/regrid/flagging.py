@@ -83,11 +83,14 @@ def flag_patch(patch: "Patch", rank: "Rank", thresholds: TagThresholds) -> np.nd
         arrs = [array_of(patch.data(n)) for n in names]
         return compute_tags(*arrs, nx, ny, g, thresholds)
 
-    tags = backend.run("regrid.tag", nx * ny, tag_body)
+    pds = [patch.data(n) for n in names]
+    tags = backend.run("regrid.tag", nx * ny, tag_body,
+                       reads=pds, ghost_reads=pds)
     if not is_resident(pd):
         return tags
 
-    packed = backend.run("regrid.tag_compress", nx * ny, pack_tags, tags)
+    packed = backend.run("regrid.tag_compress", nx * ny, pack_tags, tags,
+                         reads=())
     # "tagged" flag for the patch crosses the bus first; untagged patches
     # skip the bit-array transfer (re-creating all-zeros on the host is free).
     backend.charge_transfer("d2h", 4)

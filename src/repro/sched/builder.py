@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..check.context import active as _check_active
 from .task import Task, TaskGraph, TaskKind
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -46,11 +47,17 @@ class GraphBuilder:
     # -- generic emission ------------------------------------------------------
 
     def add(self, kind: TaskKind, rank: int | None, label: str, fn,
-            reads=(), writes=(), after=()) -> Task:
+            reads=(), writes=(), after=(),
+            ghost_reads=(), ghost_only=False, marks=()) -> Task:
         """Add a task; dependencies = ``after`` + data edges.
 
         ``reads``/``writes`` are patch-data (or staging) objects this
-        task's body will touch when it eventually runs.
+        task's body will touch when it eventually runs; a task's own
+        *result slot* counts as written by it, so downstream consumers of
+        ``task.result`` declare ``reads=[task]`` instead of hand-threading
+        an ``after`` edge.  ``ghost_reads``/``ghost_only``/``marks`` feed
+        the sanitizer's stale-halo machinery (emission order *is* the
+        intended data-flow order) and are ignored when it is inactive.
         """
         reads = list(reads)
         writes = list(writes)
@@ -64,7 +71,12 @@ class GraphBuilder:
             if w is not None:
                 deps.append(w)
             deps.extend(self._readers.get(id(pd), ()))
-        task = self.graph.add(kind, rank, label, fn, deps=deps)
+        task = self.graph.add(kind, rank, label, fn, deps=deps,
+                              reads=reads, writes=writes)
+        chk = _check_active()
+        if chk is not None:
+            chk.note_emission(label, reads, writes, ghost_reads=ghost_reads,
+                              ghost_only=ghost_only, marks=marks)
         for pd in reads:
             self._readers.setdefault(id(pd), []).append(task)
             self._retained.append(pd)
@@ -72,43 +84,57 @@ class GraphBuilder:
             self._writer[id(pd)] = task
             self._readers[id(pd)] = []
             self._retained.append(pd)
+        task.writes = (*task.writes, task)  # the result slot
+        self._writer[id(task)] = task
+        self._readers[id(task)] = []
         return task
 
     # -- kernel sink (patch integrator) ---------------------------------------
 
     def kernel_task(self, backend, rank: "Rank", kernel: str, elements: int,
-                    body, reads, writes) -> Task:
+                    body, reads, writes,
+                    ghost_reads=(), ghost_only=False, marks=()) -> Task:
         """One compute-kernel launch, dispatched through ``backend``."""
         return self.add(
             TaskKind.KERNEL, rank.index, kernel,
-            lambda stream: backend.run(kernel, elements, body,
+            lambda _stream: backend.run(kernel, elements, body,
                                        reads=reads, writes=writes),
-            reads=reads, writes=writes)
+            reads=reads, writes=writes,
+            ghost_reads=ghost_reads, ghost_only=ghost_only, marks=marks)
 
     def dt_readback(self, backend, rank: "Rank", kernel_task: Task) -> Task:
         """The reduced CFL scalar crossing the PCIe bus after ``calc_dt``.
 
-        Returns a D2H task whose result is the kernel task's dt value, so
-        the reduction can consume it without re-running anything.
+        Returns a D2H task whose result is the kernel task's dt value —
+        a *declared read* of that result slot, so the edge is derived
+        like every other data dependency.
         """
         def fn(stream):
             backend.charge_transfer("d2h", 8, stream=stream)
             return kernel_task.result
 
         return self.add(TaskKind.D2H, rank.index, "dt.readback", fn,
-                        after=(kernel_task,))
+                        reads=(kernel_task,))
 
     # -- data-motion emitters (used by the xfer schedules) ---------------------
 
-    def copy(self, rank: "Rank", items, label: str) -> Task:
-        """Fused same-resource copies: ``(dst_pd, src_pd, region)`` items."""
+    def copy(self, rank: "Rank", items, label: str, ghost: bool = False) -> Task:
+        """Fused same-resource copies: ``(dst_pd, src_pd, region)`` items.
+
+        ``ghost=True`` marks a halo-fill copy: the destinations' ghost
+        regions now mirror the sources' interiors (stamped for the
+        stale-halo check) and no destination *interior* changes.
+        """
         from ..xfer.message import copy_batch_local
 
+        marks = ([("stamp", dst, (src,)) for dst, src, _ in items]
+                 if ghost else ())
         return self.add(
             TaskKind.COPY, rank.index, label,
-            lambda stream: copy_batch_local(items, rank),
+            lambda _stream: copy_batch_local(items, rank),
             reads=[src for _, src, _ in items],
-            writes=[dst for dst, _, _ in items])
+            writes=[dst for dst, _, _ in items],
+            ghost_only=ghost, marks=marks)
 
     def boundary(self, patch, variables, rank: "Rank", boundary,
                  label: str = "fill.bc") -> Task:
@@ -116,11 +142,13 @@ class GraphBuilder:
         pds = [patch.data(v.name) for v in variables]
         return self.add(
             TaskKind.KERNEL, rank.index, label,
-            lambda stream: boundary.apply_all(patch, variables, rank),
-            reads=pds, writes=pds)
+            lambda _stream: boundary.apply_all(patch, variables, rank),
+            reads=pds, writes=pds,
+            ghost_only=True, marks=[("stamp", pd, (pd,)) for pd in pds])
 
     def stream_batch(self, src_rank: "Rank", dst_rank: "Rank",
-                     pack_items, unpack_items, label: str) -> Task:
+                     pack_items, unpack_items, label: str,
+                     ghost: bool = False) -> Task:
         """One cross-rank MessageStream as a pipeline of typed stages.
 
         pack (src compute) → D2H (src copy engine) → send (src NIC) →
@@ -168,6 +196,9 @@ class GraphBuilder:
                           do_recv, after=(t_send,))
         t_h2d = self.add(TaskKind.H2D, dst_rank.index, f"{label}.h2d",
                          do_h2d, after=(t_recv,))
+        marks = ([("stamp", dst, (src,)) for (src, _), (dst, _)
+                  in zip(pack_items, unpack_items)] if ghost else ())
         return self.add(TaskKind.UNPACK, dst_rank.index, f"{label}.unpack",
                         do_unpack, after=(t_h2d,),
-                        writes=[pd for pd, _ in unpack_items])
+                        writes=[pd for pd, _ in unpack_items],
+                        ghost_only=ghost, marks=marks)

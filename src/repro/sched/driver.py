@@ -81,8 +81,8 @@ class StepScheduler:
             gb, "mid_advec_x" if direction == 0 else "mid_advec_y")
         for which_vel in (0, 1):
             self._emit_patches(
-                gb, lambda p, r: pi.advec_mom(p, r, direction, sweep_number,
-                                              which_vel))
+                gb, lambda p, r, wv=which_vel: pi.advec_mom(
+                    p, r, direction, sweep_number, wv))
 
     # -- the timestep ----------------------------------------------------------
 
@@ -151,6 +151,6 @@ class StepScheduler:
             return it.comm.allreduce_min(local)
 
         red = gb.add(TaskKind.REDUCE, None, "dt.allreduce", reduce_fn,
-                     after=[t for _, t in dt_tasks])
+                     reads=[t for _, t in dt_tasks])
         self._execute(gb)
         return it._apply_dt_policy(red.result)

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..check.context import active as _check_active
 from ..gpu.stream import Event
 from .task import COPY_LANES, Task, TaskGraph, TaskKind
 
@@ -77,6 +78,9 @@ class GraphExecutor:
         for task in graph.topological_order(self.order_key):
             self._dispatch(task)
         self._drain()
+        chk = _check_active()
+        if chk is not None:
+            chk.check_graph(graph)
 
     # -- dispatch --------------------------------------------------------------
 
@@ -89,7 +93,7 @@ class GraphExecutor:
         if stream is not None:
             self._wait_on_stream(task, stream, rank)
             t0 = stream.clock.time
-            task.result = task.fn(stream)
+            task.result = self._run_body(task, stream)
             ev = Event()
             ev.record(stream)
             task.event = ev
@@ -97,8 +101,19 @@ class GraphExecutor:
             task.busy = max(0.0, ev.timestamp - t0)
         else:
             self._wait_on_host(task, rank)
-            task.result = task.fn(None)
+            task.result = self._run_body(task, None)
             task.finish = rank.clock.time
+
+    def _run_body(self, task: Task, stream):
+        """Run ``task.fn`` inside a sanitizer access scope, if one is on."""
+        chk = _check_active()
+        if chk is None:
+            return task.fn(stream)
+        chk.begin_task(task)
+        try:
+            return task.fn(stream)
+        finally:
+            chk.end_task(task)
 
     def _run_collective(self, task: Task) -> None:
         # Each participating rank must reach its own dependencies before
@@ -113,7 +128,7 @@ class GraphExecutor:
                 if dep.lane in COPY_LANES:
                     r.exec_stats.record_exposed_wait(
                         dep.lane, before, r.clock.time, cap=dep.busy)
-        task.result = task.fn(None)
+        task.result = self._run_body(task, None)
         task.finish = max(r.clock.time for r in self.comm.ranks)
 
     # -- timeline resolution and waits -----------------------------------------

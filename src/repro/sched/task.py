@@ -72,6 +72,8 @@ class Task:
     label: str
     fn: Callable
     deps: list["Task"] = field(default_factory=list)
+    reads: tuple = ()         # declared patch-data reads (sanitizer replay)
+    writes: tuple = ()        # declared patch-data writes
     result: object = None
     event: object = None      # gpu.stream.Event, set in overlap mode
     finish: float = 0.0       # virtual completion time, set by the executor
@@ -96,9 +98,10 @@ class TaskGraph:
         self.tasks: list[Task] = []
 
     def add(self, kind: TaskKind, rank: int | None, label: str, fn,
-            deps=()) -> Task:
+            deps=(), reads=(), writes=()) -> Task:
         task = Task(len(self.tasks), kind, rank, label, fn,
-                    deps=list(dict.fromkeys(deps)))
+                    deps=list(dict.fromkeys(deps)),
+                    reads=tuple(reads), writes=tuple(writes))
         self.tasks.append(task)
         return task
 

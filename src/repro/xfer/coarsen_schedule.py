@@ -84,9 +84,11 @@ class CoarsenSchedule:
         (cross rank) — so only already-coarsened bytes cross the network.
         """
         from ..comm.simcomm import Message
+        from ..check.context import active as _check_active
         from .message import copy_batch_local, pack_batch, unpack_batch
         from .transfer import MESSAGE_HEADER_BYTES
 
+        chk = _check_active()
         messages = []
         ratio = self.fine_level.ratio_to_coarser
         for t in self.transactions:
@@ -127,6 +129,9 @@ class CoarsenSchedule:
                      for s, _, region in temps],
                     coarse_rank,
                 )
+            if chk is not None:
+                for s, _, _ in temps:
+                    chk.note_interior_write(t.coarse_patch.data(s.var.name))
             for _, temp, _ in temps:
                 free = getattr(temp, "free", None)
                 if free is not None:

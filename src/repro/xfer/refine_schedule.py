@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from ..check.context import active as _check_active
 from ..mesh.box import Box, IntVector
 from ..mesh.box_container import BoxContainer
 from ..mesh.variables import Variable
@@ -249,6 +250,23 @@ class RefineSchedule:
 
     # -- execution --------------------------------------------------------------
 
+    def _note_fill_start(self, chk) -> None:
+        """Tell the sanitizer this fill begins (emission order).
+
+        A ghost fill repartitions *every* ghost region of every
+        destination (copies + interpolation cover in-domain, physical BCs
+        cover out-of-domain), so old halo stamps are dropped before the
+        new ones land.  An interior fill instead writes destination
+        interiors (regrid solution transfer).
+        """
+        for dst in self.dst_level:
+            for spec, _ in self.items:
+                pd = dst.data(spec.var.name)
+                if self.interior:
+                    chk.note_interior_write(pd)
+                else:
+                    chk.reset_stamps(pd)
+
     def fill(self, time: float | None = None) -> None:
         """Execute the schedule: copies, interpolation, physical BCs.
 
@@ -260,6 +278,9 @@ class RefineSchedule:
         from .message import copy_batch_local, pack_batch, unpack_batch
         from .transfer import MESSAGE_HEADER_BYTES
 
+        chk = _check_active()
+        if chk is not None:
+            self._note_fill_start(chk)
         messages = []
         ranks = self.comm.ranks
         local: dict = {}   # id(dst) -> (dst, [(dst_pd, src_pd, region)])
@@ -275,6 +296,9 @@ class RefineSchedule:
                     entry[2].append((name, region))
         for dst, items in local.values():
             copy_batch_local(items, ranks[dst.owner])
+            if chk is not None and not self.interior:
+                for dst_pd, src_pd, _ in items:
+                    chk.stamp(dst_pd, (src_pd,))
         for src, dst, named in remote.values():
             buf = pack_batch([(src.data(n), r) for n, r in named],
                              ranks[src.owner])
@@ -282,6 +306,9 @@ class RefineSchedule:
                                     buf.nbytes + MESSAGE_HEADER_BYTES))
             unpack_batch(buf, [(dst.data(n), r) for n, r in named],
                          ranks[dst.owner])
+            if chk is not None and not self.interior:
+                for n, _ in named:
+                    chk.stamp(dst.data(n), (src.data(n),))
         for geom, group in self.sig_groups:
             for ig in geom.interps:
                 self._execute_interp_group(group, ig, messages)
@@ -305,6 +332,10 @@ class RefineSchedule:
         come from the builder's read/write tracking, so any topological
         order reproduces :meth:`fill` bit for bit.
         """
+        chk = _check_active()
+        if chk is not None:
+            self._note_fill_start(chk)
+        ghost = not self.interior
         ranks = self.comm.ranks
         local: dict = {}   # id(dst) -> (dst, [(dst_pd, src_pd, region)])
         remote: dict = {}  # (id(src), id(dst)) -> (src, dst, [(name, region)])
@@ -318,13 +349,14 @@ class RefineSchedule:
                     entry = remote.setdefault((id(src), id(dst)), (src, dst, []))
                     entry[2].append((name, region))
         for dst, items in local.values():
-            gb.copy(ranks[dst.owner], items, "fill.copy")
+            gb.copy(ranks[dst.owner], items, "fill.copy", ghost=ghost)
         for src, dst, named in remote.values():
             gb.stream_batch(
                 ranks[src.owner], ranks[dst.owner],
                 [(src.data(n), r) for n, r in named],
                 [(dst.data(n), r) for n, r in named],
                 f"fill.L{self.dst_level.level_number}",
+                ghost=ghost,
             )
         for geom, group in self.sig_groups:
             for ig in geom.interps:
@@ -390,9 +422,13 @@ class RefineSchedule:
                 [temp], [temp])
 
         dst_pds = [ig.dst_patch.data(s.var.name) for s in specs]
+        ghost = not self.interior
+        marks = ([("stamp", pd, [sp.data(spec.var.name)
+                                 for sp, _ in ig.sources])
+                  for spec, pd in zip(specs, dst_pds)] if ghost else ())
         gb.add(TaskKind.KERNEL, dst_rank.index, "fill.refine",
-               lambda stream: self._fused_refine(specs, temps, ig, dst_rank),
-               reads=temps, writes=dst_pds)
+               lambda _stream: self._fused_refine(specs, temps, ig, dst_rank),
+               reads=temps, writes=dst_pds, ghost_only=ghost, marks=marks)
 
         def free_temps(stream):
             for temp in temps:
@@ -444,6 +480,11 @@ class RefineSchedule:
         for spec, temp in zip(specs, temps):
             self._clamp_temp(temp, spec.var, dst_rank)
         self._fused_refine(specs, temps, ig, dst_rank)
+        chk = _check_active()
+        if chk is not None and not self.interior:
+            for spec in specs:
+                chk.stamp(ig.dst_patch.data(spec.var.name),
+                          [sp.data(spec.var.name) for sp, _ in ig.sources])
         for temp in temps:
             free = getattr(temp, "free", None)
             if free is not None:
