@@ -3,12 +3,17 @@
 Benchmarks print the reproduced table/figure rows directly to the real
 stdout (bypassing pytest capture) so that ``pytest benchmarks/
 --benchmark-only | tee bench_output.txt`` records them, and mirror the
-same text into ``benchmarks/results/<name>.txt``.
+same text into ``benchmarks/results/<name>.txt``.  Every block is also
+written as machine-readable ``results/BENCH_<name>.json`` carrying the
+run configuration, headline metrics and the git sha, so sweeps can be
+diffed across commits without scraping the text tables.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
 import sys
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -23,16 +28,45 @@ QUICK_STEPS = 8
 FULL = os.environ.get("REPRO_FULL", "") == "1"
 
 
-def emit(name: str, lines: list[str]) -> None:
+def git_sha() -> str | None:
+    """The repo HEAD sha, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=10,
+        )
+        return out.stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def emit(name: str, lines: list[str], config: dict | None = None,
+         metrics: dict | None = None) -> None:
     """Record a result block: saved to results/, queued for the terminal
     summary (pytest's fd capture would swallow a direct print), and also
-    printed immediately when running outside pytest capture."""
+    printed immediately when running outside pytest capture.
+
+    ``config`` (the knobs of the run) and ``metrics`` (the measured
+    numbers) land in ``BENCH_<name>.json`` beside the text table.
+    """
     text = "\n".join(lines)
     EMITTED.append((name, text))
     print(f"\n{text}\n", file=sys.__stdout__, flush=True)
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as f:
         f.write(text + "\n")
+    payload = {
+        "name": name,
+        "git_sha": git_sha(),
+        "full": FULL,
+        "config": config or {},
+        "metrics": metrics or {},
+        "lines": lines,
+    }
+    with open(os.path.join(RESULTS_DIR, f"BENCH_{name}.json"), "w") as f:
+        json.dump(payload, f, indent=2, default=str)
+        f.write("\n")
 
 
 def table(title: str, headers: list[str], rows: list[list], widths=None) -> list[str]:

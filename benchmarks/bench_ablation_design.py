@@ -59,7 +59,10 @@ def test_patch_size_table(patch_sweep, benchmark):
              for r in patch_sweep],
         )
     lines = benchmark(render)
-    emit("ablation_patch_size", lines)
+    emit("ablation_patch_size", lines,
+         config={"problem": f"sod {RES}x{RES}", "levels": 2,
+                 "steps": QUICK_STEPS, "patch_sizes": [16, 32, 64, 128]},
+         metrics={"sweep": patch_sweep})
 
 
 def test_small_patches_multiply_launches(patch_sweep):
@@ -95,7 +98,10 @@ def test_regrid_interval_table(regrid_sweep, benchmark):
               f"{r['runtime']:.4f}"] for r in regrid_sweep],
         )
     lines = benchmark(render)
-    emit("ablation_regrid_interval", lines)
+    emit("ablation_regrid_interval", lines,
+         config={"problem": f"sod {RES}x{RES}", "levels": 2, "steps": 20,
+                 "intervals": [2, 5, 10]},
+         metrics={"sweep": regrid_sweep})
 
 
 def test_frequent_regrids_cost_more_regrid_time(regrid_sweep):
@@ -145,7 +151,10 @@ def test_balancer_table(balancer_sweep, benchmark):
     gain = balancer_sweep["lpt"] / balancer_sweep["morton"]
     lines.append(f"locality-aware assignment speedup: {gain:.2f}x "
                  "(neighbour halos stay on-rank)")
-    emit("ablation_balancer", lines)
+    emit("ablation_balancer", lines,
+         config={"problem": f"sod {RES}x{RES}", "nranks": 8,
+                 "max_patch": 32, "steps": QUICK_STEPS},
+         metrics={"runtime": dict(balancer_sweep), "speedup": gain})
 
 
 def test_spatial_balancer_no_slower(balancer_sweep):

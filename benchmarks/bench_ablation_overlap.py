@@ -77,7 +77,14 @@ def test_overlap_table(results, benchmark):
         "note: most of the win comes from taking PCIe off the compute "
         "stream (blocking copies drag it); 'hidden' counts only transfer "
         "time fully covered by concurrent kernels")
-    emit("ablation_overlap", lines)
+    emit("ablation_overlap", lines,
+         config={"problem": f"sod {RESOLUTION[0]}x{RESOLUTION[1]}",
+                 "nranks": NRANKS, "levels": 2, "steps": STEPS},
+         metrics={"runtime_off": off.runtime, "runtime_on": on.runtime,
+                  "grind_off": off.grind_time, "grind_on": on.grind_time,
+                  "hidden_seconds": o.hidden_seconds,
+                  "async_seconds": o.async_seconds,
+                  "exposed_seconds": o.exposed_seconds})
 
 
 def test_overlap_improves_grind(results):

@@ -71,7 +71,11 @@ def test_ablation_table(results, benchmark):
     traffic = results[False]["pcie_bytes"] / max(results[True]["pcie_bytes"], 1)
     lines.append(f"resident speedup over copy-per-kernel : {speed:.2f}x")
     lines.append(f"PCIe traffic ratio (copying/resident) : {traffic:.0f}x")
-    emit("ablation_resident", lines)
+    emit("ablation_resident", lines,
+         config={"problem": f"sod {RES}x{RES}", "levels": 2,
+                 "steps": QUICK_STEPS},
+         metrics={"resident": results[True], "copy_per_kernel": results[False],
+                  "speedup": speed, "traffic_ratio": traffic})
 
 
 def test_resident_is_faster(results):

@@ -66,7 +66,10 @@ def test_tagbits_table(strategies, benchmark):
     lines = benchmark(render)
     lines.append(f"patches flagged: {s['tagged']}/{s['patches']} "
                  "(untagged patches skip the transfer entirely)")
-    emit("ablation_tagbits", lines)
+    emit("ablation_tagbits", lines,
+         config={"problem": "sod 128x128", "levels": 2, "max_patch": 32,
+                 "steps": 4},
+         metrics=dict(s))
 
 
 def test_compression_is_32x(strategies):

@@ -79,7 +79,13 @@ def test_savings_table(cases, benchmark):
                  f"({amr.cells} vs {int(s['uniform_fine_cells'])} uniform)")
     lines.append(f"accuracy ratio      : AMR error / uniform error = "
                  f"{err_amr / err_uni:.2f}")
-    emit("amr_savings", lines)
+    emit("amr_savings", lines,
+         config={"problem": "sod", "fine": FINE, "end_time": END_TIME},
+         metrics={"uniform": {"cells": uni.cells, "runtime": uni.runtime,
+                              "mem_bytes": mem_uni, "l1_error": err_uni},
+                  "amr": {"cells": amr.cells, "runtime": amr.runtime,
+                          "mem_bytes": mem_amr, "l1_error": err_amr},
+                  "savings_factor": s["savings_factor"]})
     cases["errors"] = (err_uni, err_amr)
 
 

@@ -67,7 +67,10 @@ def test_fig10_table(sweep, benchmark):
     lines = benchmark(render)
     lines.append(f"1-node GPU speedup : {sweep[0]['speedup']:.2f}x (paper: 4.87x)")
     lines.append(f"8-node GPU speedup : {sweep[-1]['speedup']:.2f}x (paper: 1.92x)")
-    emit("fig10_strong", lines)
+    emit("fig10_strong", lines,
+         config={"problem": f"sod {RES}x{RES}", "nodes": NODES, "levels": 3,
+                 "steps": QUICK_STEPS},
+         metrics={"sweep": sweep})
 
 
 def test_gpu_wins_at_one_node(sweep):

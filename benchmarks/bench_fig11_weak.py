@@ -106,7 +106,11 @@ def test_fig11_table(sweep, benchmark):
         f"  {last['nodes']:5d} nodes: advance {last['frac_hydro']:.0%} "
         f"(paper 44%), timestep {last['frac_dt']:.1%} (paper 6%), "
         f"sync {last['frac_sync']:.1%} (paper 3%)")
-    emit("fig11_weak", lines)
+    emit("fig11_weak", lines,
+         config={"problem": "triple_point", "machine": "Titan",
+                 "nodes": NODES, "block": list(BLOCK), "levels": 3,
+                 "steps": STEPS},
+         metrics={"sweep": sweep})
 
 
 def test_hydro_dominates_everywhere(sweep):

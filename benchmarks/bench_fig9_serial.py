@@ -67,7 +67,11 @@ def test_fig9_table(sweep, benchmark):
                  "(paper: 0.63x, i.e. GPU 1.6x slower below 200k)")
     lines.append(f"best speedup at large sizes  : "
                  f"{max(r['speedup'] for r in large):.2f}x (paper: 2.67x)")
-    emit("fig9_serial", lines)
+    emit("fig9_serial", lines,
+         config={"problem": "sod", "resolutions": RESOLUTIONS, "levels": 3,
+                 "steps": QUICK_STEPS},
+         metrics={"sweep": sweep, "mean_speedup_small": avg_small,
+                  "best_speedup_large": max(r["speedup"] for r in large)})
 
 
 def test_gpu_slower_at_small_sizes(sweep):

@@ -22,7 +22,9 @@ def render_table1():
 
 def test_table1_print(benchmark):
     lines = benchmark(render_table1)
-    emit("table1_machines", lines)
+    emit("table1_machines", lines,
+         metrics={"IPA": dict(IPA.table_rows()),
+                  "Titan": dict(TITAN.table_rows())})
     assert any("Titan" in ln for ln in lines)
 
 

@@ -45,6 +45,9 @@ class RunConfig:
                                    # use_scheduler); changes time, not bits
     sanitize: bool = False         # samrcheck sanitizer (repro.check):
                                    # observation-only, identical bits
+    batch_launches: bool = False   # arena-pooled storage + fused launches
+                                   # (one launch per level, not per patch);
+                                   # changes time, not bits
 
     def simulation_config(self) -> SimulationConfig:
         return SimulationConfig(
@@ -56,6 +59,7 @@ class RunConfig:
             use_scheduler=self.use_scheduler,
             overlap=self.overlap,
             sanitize=self.sanitize,
+            batch_launches=self.batch_launches,
         )
 
 
@@ -81,14 +85,15 @@ class RunResult:
 def build_simulation(cfg: RunConfig) -> LagrangianEulerianIntegrator:
     """Compose communicator, factory and integrator for a run config."""
     comm = make_communicator(cfg.machine, cfg.nranks, gpus=cfg.use_gpu)
+    arena = cfg.batch_launches
     if cfg.use_gpu and cfg.resident:
-        factory = CudaDataFactory()
+        factory = CudaDataFactory(arena=arena)
         pi = CleverleafPatchIntegrator(gamma=cfg.problem.gamma)
     elif cfg.use_gpu:
-        factory = HostDataFactory()
+        factory = HostDataFactory(arena=arena)
         pi = NonResidentGpuPatchIntegrator(gamma=cfg.problem.gamma)
     else:
-        factory = HostDataFactory()
+        factory = HostDataFactory(arena=arena)
         pi = CleverleafPatchIntegrator(gamma=cfg.problem.gamma)
     return LagrangianEulerianIntegrator(
         cfg.problem, comm, factory, cfg.simulation_config(), patch_integrator=pi

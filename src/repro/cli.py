@@ -50,6 +50,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--overlap", action="store_true",
                    help="overlap halo transfers with compute on per-rank "
                         "copy streams (implies --scheduler)")
+    p.add_argument("--batch", action="store_true",
+                   help="level-batched execution: lay each level's fields "
+                        "out in pooled arenas and fuse same-kernel per-patch "
+                        "launches into one launch per level (bitwise "
+                        "identical; changes modelled time only)")
     p.add_argument("--sanitize", action="store_true",
                    help="run with the samrcheck sanitizer: verify declared "
                         "accesses, replay the DAG's happens-before relation, "
@@ -91,11 +96,14 @@ def main(argv=None) -> int:
         use_scheduler=args.scheduler or args.overlap,
         overlap=args.overlap,
         sanitize=args.sanitize,
+        batch_launches=args.batch,
     )
     build = ("CPU" if not use_gpu
              else "GPU resident" if cfg.resident else "GPU copy-per-kernel")
     mode = ("" if not cfg.use_scheduler else
             ", task-graph scheduler" + (" + overlap" if cfg.overlap else ""))
+    if cfg.batch_launches:
+        mode += ", batched launches"
     if cfg.sanitize:
         mode += ", sanitize"
     print(f"running {args.problem} on {args.nodes} {machine} node(s), "

@@ -1,0 +1,101 @@
+"""Device patch arena: the GPU twin of :mod:`repro.pdat.arena`.
+
+One :class:`~repro.gpu.memory.DeviceArray` slab holds one variable's
+frames for every local patch of a level back-to-back; each member is an
+:class:`ArenaSlice` exposing the DeviceArray protocol (``kernel_view``,
+``free``, shape/dtype/nbytes) over its segment, so
+:class:`~repro.cupdat.cuda_array_data.CudaArrayData` and every kernel
+body work unchanged on arena-backed storage.
+
+Lifetime: patches free their data individually (regrid calls
+``Patch.free_all`` per patch), so the slab is released only when the
+last live slice is freed.  Freed slices raise on access exactly like a
+freed DeviceArray.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..gpu.memory import DeviceArray
+
+__all__ = ["DeviceArena", "ArenaSlice"]
+
+
+class DeviceArena:
+    """One device slab holding many patch frames back-to-back."""
+
+    def __init__(self, device, total_elements: int, dtype=np.float64):
+        self.device = device
+        self.slab = DeviceArray(device, (int(total_elements),), dtype=dtype)
+        self.offsets: list[int] = []
+        self._used = 0
+        self._live = 0
+
+    def place(self, shape) -> "ArenaSlice":
+        """Carve the next member off the slab as an :class:`ArenaSlice`."""
+        n = math.prod(int(s) for s in shape)
+        if self._used + n > self.slab.size:
+            raise ValueError(
+                f"arena overflow: {self._used} + {n} > {self.slab.size}")
+        s = ArenaSlice(self, self._used, shape)
+        self.offsets.append(self._used)
+        self._used += n
+        self._live += 1
+        return s
+
+    def _release(self) -> None:
+        self._live -= 1
+        if self._live == 0:
+            self.slab.free()
+
+
+class ArenaSlice:
+    """A member segment of a :class:`DeviceArena` slab.
+
+    Duck-types :class:`~repro.gpu.memory.DeviceArray`: same attributes,
+    same ``kernel_view`` access discipline (legal only inside a launch or
+    memcpy on the owning device), idempotent ``free``.
+    """
+
+    __slots__ = ("arena", "offset", "shape", "dtype", "nbytes", "size",
+                 "_freed")
+
+    def __init__(self, arena: DeviceArena, offset: int, shape):
+        self.arena = arena
+        self.offset = int(offset)
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = arena.slab.dtype
+        self.size = math.prod(self.shape)
+        self.nbytes = self.size * self.dtype.itemsize
+        self._freed = False
+
+    @property
+    def device(self):
+        return self.arena.device
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    def kernel_view(self) -> np.ndarray:
+        if self._freed:
+            raise RuntimeError("use after free of ArenaSlice")
+        flat = self.arena.slab.kernel_view()
+        return flat[self.offset:self.offset + self.size].reshape(self.shape)
+
+    def free(self) -> None:
+        if not self._freed:
+            self._freed = True
+            self.arena._release()
+
+    def _poison(self) -> None:
+        if not self._freed and np.issubdtype(self.dtype, np.floating):
+            with self.arena.device._memcpy_scope():
+                self.kernel_view().fill(np.nan)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"ArenaSlice(offset={self.offset}, shape={self.shape}, "
+                f"dev={self.arena.device.spec.name!r})")

@@ -24,10 +24,20 @@ __all__ = ["CudaArrayData"]
 class CudaArrayData:
     """Device-memory array covering ``frame`` (inclusive index box)."""
 
-    def __init__(self, frame: Box, device: Device, fill: float | None = None):
+    def __init__(self, frame: Box, device: Device, fill: float | None = None,
+                 darr=None):
+        """``darr``, if given, is preallocated device storage of the
+        frame's shape (a DeviceArray or arena slice) used instead of a
+        fresh allocation."""
         self.frame = frame
         self.device = device
-        self.darr = DeviceArray(device, tuple(frame.shape()))
+        if darr is None:
+            darr = DeviceArray(device, tuple(frame.shape()))
+        elif tuple(darr.shape) != tuple(frame.shape()):
+            raise ValueError(
+                f"storage shape {tuple(darr.shape)} != frame shape "
+                f"{tuple(frame.shape())}")
+        self.darr = darr
         if fill is not None:
             self.fill(fill)
 

@@ -14,7 +14,10 @@ __all__ = ["CudaCellData"]
 class CudaCellData(CellCentring, DeviceBackedData):
     """Cell-centred data resident in GPU memory."""
 
-    def __init__(self, box: Box, ghosts: int, device: Device, fill: float | None = None):
+    def __init__(self, box: Box, ghosts: int, device: Device,
+                 fill: float | None = None, darr=None):
         super().__init__(
-            box, ghosts, device, CudaArrayData(cell_frame(box, ghosts), device, fill=fill)
+            box, ghosts, device,
+            CudaArrayData(cell_frame(box, ghosts), device, fill=fill,
+                          darr=darr)
         )

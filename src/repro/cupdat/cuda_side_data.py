@@ -15,9 +15,12 @@ class CudaSideData(SideCentring, DeviceBackedData):
     """Side-centred data (one normal direction) resident in GPU memory."""
 
     def __init__(
-        self, box: Box, ghosts: int, axis: int, device: Device, fill: float | None = None
+        self, box: Box, ghosts: int, axis: int, device: Device,
+        fill: float | None = None, darr=None
     ):
         self.axis = self.check_axis(box, axis)
         super().__init__(
-            box, ghosts, device, CudaArrayData(side_frame(box, ghosts, axis), device, fill=fill)
+            box, ghosts, device,
+            CudaArrayData(side_frame(box, ghosts, axis), device, fill=fill,
+                          darr=darr)
         )

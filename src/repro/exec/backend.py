@@ -32,6 +32,7 @@ from ..check.context import active as _check_active
 from ..check.context import seam_scope
 from ..check.errors import DeclaredAccessError
 from ..gpu.memory import DeviceArray
+from .batch import union_pds
 from .stats import ExecStats, attribution_report
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -83,32 +84,32 @@ def frame_of(pd) -> "Box":
     return pd.data.frame
 
 
-def allocate_host(var: "Variable", box: "Box") -> "PatchData":
+def allocate_host(var: "Variable", box: "Box", buffer=None) -> "PatchData":
     from ..pdat.cell_data import CellData
     from ..pdat.node_data import NodeData
     from ..pdat.side_data import SideData
 
     if var.centring == "cell":
-        pd = CellData(box, var.ghosts)
+        pd = CellData(box, var.ghosts, buffer=buffer)
     elif var.centring == "node":
-        pd = NodeData(box, var.ghosts)
+        pd = NodeData(box, var.ghosts, buffer=buffer)
     else:
-        pd = SideData(box, var.ghosts, var.axis)
+        pd = SideData(box, var.ghosts, var.axis, buffer=buffer)
     pd.var_name = var.name  # debug name used in sanitizer reports
     return pd
 
 
-def allocate_device(var: "Variable", box: "Box", device) -> "PatchData":
+def allocate_device(var: "Variable", box: "Box", device, darr=None) -> "PatchData":
     from ..cupdat.cuda_cell_data import CudaCellData
     from ..cupdat.cuda_node_data import CudaNodeData
     from ..cupdat.cuda_side_data import CudaSideData
 
     if var.centring == "cell":
-        pd = CudaCellData(box, var.ghosts, device)
+        pd = CudaCellData(box, var.ghosts, device, darr=darr)
     elif var.centring == "node":
-        pd = CudaNodeData(box, var.ghosts, device)
+        pd = CudaNodeData(box, var.ghosts, device, darr=darr)
     else:
-        pd = CudaSideData(box, var.ghosts, var.axis, device)
+        pd = CudaSideData(box, var.ghosts, var.axis, device, darr=darr)
     pd.var_name = var.name  # debug name used in sanitizer reports
     return pd
 
@@ -207,6 +208,56 @@ class Backend(abc.ABC):
             raise
         chk.end_kernel(scope)
         return result
+
+    def run_batched(self, kernel: str, members, combine=None,
+                    ghost_only: bool = False):
+        """Execute many per-patch kernel bodies as one fused launch.
+
+        ``members`` is a sequence of :class:`~repro.exec.batch.BatchMember`;
+        their bodies run in order over disjoint patch data inside a single
+        launch whose element count is the members' sum and whose declared
+        reads/writes/ghost-reads are the identity union of the members' —
+        so the cost model charges one launch overhead instead of N, the
+        non-resident ablation moves each operand once, and the sanitizer
+        still sees every operand.  ``combine`` reduces the members' return
+        values inside the launch (the CFL min); the result is returned.
+        """
+        members = list(members)
+        if not members:
+            return None
+        if len(members) == 1 and combine is None:
+            m = members[0]
+            return self.run(kernel, m.elements, m.body,
+                            reads=m.reads, writes=m.writes,
+                            ghost_reads=m.ghost_reads, ghost_only=ghost_only,
+                            marks=m.marks)
+        reads = union_pds(m.reads for m in members)
+        writes = union_pds(m.writes for m in members)
+        ghost_reads = union_pds(m.ghost_reads for m in members)
+        marks = [mk for m in members for mk in m.marks]
+        total = sum(m.elements for m in members)
+
+        def fused_body():
+            results = [m.body() for m in members]
+            return combine(results) if combine is not None else None
+
+        result = self.run(kernel, total, fused_body, reads=reads,
+                          writes=writes, ghost_reads=ghost_reads,
+                          ghost_only=ghost_only, marks=marks)
+        if len(members) > 1 and self.rank is not None:
+            self.rank.exec_stats.record_batch(
+                kernel, len(members), self._batch_overhead_saved(len(members)))
+        return result
+
+    def _batch_overhead_saved(self, n: int) -> float:
+        """Modelled fixed per-launch cost avoided by fusing ``n`` launches."""
+        device = getattr(self, "device", None)
+        if device is not None:
+            spec = device.spec
+            return (n - 1) * (spec.host_launch_overhead + spec.kernel_overhead)
+        if self.rank is not None:
+            return (n - 1) * self.rank.cpu.kernel_overhead
+        return 0.0
 
     @abc.abstractmethod
     def _launch(self, kernel: str, elements: int, fn, *args,

@@ -17,6 +17,7 @@ __all__ = [
     "TransferCounter",
     "StreamCounter",
     "OverlapCounter",
+    "BatchCounter",
     "ExecStats",
     "combined_stats",
     "kernel_category",
@@ -51,6 +52,21 @@ class StreamCounter:
 
 
 @dataclass
+class BatchCounter:
+    """Accounting for fused launches of one kernel (``--batch``).
+
+    ``launches`` counts fused launches actually issued, ``members`` the
+    per-patch kernels they covered, and ``overhead_saved_seconds`` the
+    modelled fixed per-launch cost the fusion avoided —
+    ``(members - launches) ×`` the resource's launch overhead.
+    """
+
+    launches: int = 0
+    members: int = 0
+    overhead_saved_seconds: float = 0.0
+
+
+@dataclass
 class OverlapCounter:
     """Accounting for stream-overlapped transfers (paper §VI).
 
@@ -80,6 +96,7 @@ class ExecStats:
         self.kernels: dict[tuple[str, str], KernelCounter] = {}
         self.transfers: dict[str, TransferCounter] = {}
         self.streams: dict[str, StreamCounter] = {}
+        self.batches: dict[str, BatchCounter] = {}
         self.overlap = OverlapCounter()
         #: per copy-lane high-water mark of virtual time already charged as
         #: exposed, so overlapping waits (an event wait and the later
@@ -105,6 +122,13 @@ class ExecStats:
         c = self.streams.setdefault(label, StreamCounter())
         c.ops += 1
         c.seconds += seconds
+
+    def record_batch(self, name: str, members: int,
+                     overhead_saved_seconds: float) -> None:
+        c = self.batches.setdefault(name, BatchCounter())
+        c.launches += 1
+        c.members += int(members)
+        c.overhead_saved_seconds += overhead_saved_seconds
 
     def record_exposed_wait(self, lane: str, before: float, after: float,
                             cap: float | None = None) -> None:
@@ -132,6 +156,7 @@ class ExecStats:
         self.kernels.clear()
         self.transfers.clear()
         self.streams.clear()
+        self.batches.clear()
         self.overlap = OverlapCounter()
         self._exposed_hwm.clear()
 
@@ -152,6 +177,11 @@ class ExecStats:
             mine = self.streams.setdefault(key, StreamCounter())
             mine.ops += c.ops
             mine.seconds += c.seconds
+        for key, c in other.batches.items():
+            mine = self.batches.setdefault(key, BatchCounter())
+            mine.launches += c.launches
+            mine.members += c.members
+            mine.overhead_saved_seconds += c.overhead_saved_seconds
         self.overlap.async_seconds += other.overlap.async_seconds
         self.overlap.exposed_seconds += other.overlap.exposed_seconds
 
@@ -254,6 +284,26 @@ def attribution_report(stats: ExecStats,
             f"overlap won     : {o.hidden_seconds:.6f}s of "
             f"{o.async_seconds:.6f}s async transfer hidden under compute "
             f"({o.exposed_seconds:.6f}s exposed)")
+
+    if stats.batches:
+        brows = [
+            [name, str(c.launches), str(c.members),
+             f"{c.members / c.launches:.1f}",
+             f"{c.overhead_saved_seconds:.6f}"]
+            for name, c in sorted(stats.batches.items())
+        ]
+        lines.append("")
+        lines += _table("fused launches (--batch)",
+                        ["kernel", "launches", "members",
+                         "patches_per_launch", "launch_overhead_saved s"],
+                        brows)
+        launches = sum(c.launches for c in stats.batches.values())
+        members = sum(c.members for c in stats.batches.values())
+        saved = sum(c.overhead_saved_seconds for c in stats.batches.values())
+        lines.append(
+            f"launch fusion   : launches {launches} covering {members} "
+            f"member kernels  patches_per_launch {members / launches:.1f}  "
+            f"launch_overhead_saved {saved:.6f}s")
 
     by_cat: dict[str, float] = {}
     for (_, name), c in stats.kernels.items():

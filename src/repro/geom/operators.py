@@ -80,6 +80,26 @@ class RefineOperator:
         """Array-level interpolation with patch-data context (axis, etc.)."""
         self._interp(carr, cframe, farr, fframe, region, ratio)
 
+    def batch_member(self, coarse_pd, fine_pd, region: Box, ratio):
+        """The array-level work of :meth:`apply` as one fusable member.
+
+        Used by the batched transfer schedules to run many refine
+        interpolations — across variables, operator types and interp
+        regions — as a single ``geom.refine`` launch.
+        """
+        from ..exec.batch import BatchMember
+
+        ratio = _as_ratio(ratio)
+
+        def body():
+            carr, cframe = _arrays(coarse_pd)
+            farr, fframe = _arrays(fine_pd)
+            self._interp_pd(coarse_pd, fine_pd, carr, cframe, farr, fframe,
+                            region, ratio)
+
+        return BatchMember(region.size(), body,
+                           reads=(coarse_pd,), writes=(fine_pd,))
+
 
 def fused_refine_apply(op: "RefineOperator", pairs, region: Box, ratio,
                        rank: "Rank | None" = None) -> None:
@@ -160,16 +180,34 @@ class CoarsenOperator:
               ratio, rank: "Rank | None" = None) -> None:
         """``region`` is in the *coarse* centring index space."""
         ratio = _as_ratio(ratio)
+        _run(coarse_pd, "geom.coarsen", region.refine(ratio).size(),
+             self._body(fine_pd, coarse_pd, region, ratio), rank)
 
+    def _body(self, fine_pd, coarse_pd, region, ratio):
         def body():
             farr, fframe = _arrays(fine_pd)
             carr, cframe = _arrays(coarse_pd)
-            self._reduce(farr, fframe, carr, cframe, region, ratio)
+            self._reduce_pd(fine_pd, coarse_pd, farr, fframe, carr, cframe,
+                            region, ratio)
 
-        _run(coarse_pd, "geom.coarsen", region.refine(ratio).size(), body, rank)
+        return body
+
+    def batch_member(self, fine_pd, coarse_pd, region: Box, ratio):
+        """The array-level work of :meth:`apply` as one fusable member."""
+        from ..exec.batch import BatchMember
+
+        ratio = _as_ratio(ratio)
+        return BatchMember(region.refine(ratio).size(),
+                           self._body(fine_pd, coarse_pd, region, ratio),
+                           reads=(fine_pd,), writes=(coarse_pd,))
 
     def _reduce(self, farr, fframe, carr, cframe, region, ratio):
         raise NotImplementedError
+
+    def _reduce_pd(self, fine_pd, coarse_pd, farr, fframe, carr, cframe,  # noqa: ARG002 — hook signature; side flavour needs the patch data
+                   region, ratio):
+        """Array-level reduction with patch-data context (axis, etc.)."""
+        self._reduce(farr, fframe, carr, cframe, region, ratio)
 
 
 class CellVolumeWeightedCoarsen(CoarsenOperator):
@@ -194,7 +232,11 @@ class CellMassWeightedCoarsen(CoarsenOperator):
     def apply_weighted(self, fine_pd, fine_weight_pd, coarse_pd, region, ratio,
                        rank: "Rank | None" = None) -> None:
         ratio = _as_ratio(ratio)
+        _run(coarse_pd, "geom.coarsen", region.refine(ratio).size(),
+             self._weighted_body(fine_pd, fine_weight_pd, coarse_pd, region,
+                                 ratio), rank)
 
+    def _weighted_body(self, fine_pd, fine_weight_pd, coarse_pd, region, ratio):
         def body():
             farr, fframe = _arrays(fine_pd)
             warr, wframe = _arrays(fine_weight_pd)
@@ -205,10 +247,25 @@ class CellMassWeightedCoarsen(CoarsenOperator):
                 farr, warr, fframe, carr, cframe, region, ratio
             )
 
-        _run(coarse_pd, "geom.coarsen", region.refine(ratio).size(), body, rank)
+        return body
+
+    def batch_member_weighted(self, fine_pd, fine_weight_pd, coarse_pd,
+                              region, ratio):
+        """The array-level work of :meth:`apply_weighted` as one member."""
+        from ..exec.batch import BatchMember
+
+        ratio = _as_ratio(ratio)
+        return BatchMember(region.refine(ratio).size(),
+                           self._weighted_body(fine_pd, fine_weight_pd,
+                                               coarse_pd, region, ratio),
+                           reads=(fine_pd, fine_weight_pd),
+                           writes=(coarse_pd,))
 
     def apply(self, fine_pd, coarse_pd, region, ratio, rank=None):  # noqa: ARG002
         raise TypeError("mass-weighted coarsen needs a weight; use apply_weighted")
+
+    def batch_member(self, fine_pd, coarse_pd, region, ratio):  # noqa: ARG002
+        raise TypeError("mass-weighted coarsen needs a weight; use batch_member_weighted")
 
 
 class NodeInjectionCoarsen(CoarsenOperator):
@@ -227,13 +284,7 @@ class SideSumCoarsen(CoarsenOperator):
     name = "side_sum_coarsen"
     centring = "side"
 
-    def apply(self, fine_pd, coarse_pd, region, ratio, rank=None):
-        ratio = _as_ratio(ratio)
-        axis = coarse_pd.axis
-
-        def body():
-            farr, fframe = _arrays(fine_pd)
-            carr, cframe = _arrays(coarse_pd)
-            m.coarsen_side_sum(farr, fframe, carr, cframe, region, ratio, axis)
-
-        _run(coarse_pd, "geom.coarsen", region.refine(ratio).size(), body, rank)
+    def _reduce_pd(self, fine_pd, coarse_pd, farr, fframe, carr, cframe,  # noqa: ARG002
+                   region, ratio):
+        m.coarsen_side_sum(farr, fframe, carr, cframe, region, ratio,
+                           coarse_pd.axis)

@@ -92,9 +92,26 @@ class ReflectiveBoundary:
         four faces in one pass; fusing keeps the launch count (and the
         modelled overhead) per patch, not per field.
         """
+        member = self.batch_member(patch, variables)
+        if member is None:
+            return
+        backend_for(member.writes[0], rank).run(
+            "hydro.update_halo", member.elements, member.body,
+            reads=member.reads, writes=member.writes,
+            ghost_only=True, marks=member.marks)
+
+    def batch_member(self, patch: "Patch", variables):
+        """The halo kernel of :meth:`apply_all` as one fusable member.
+
+        Returns None when the patch touches no physical boundary; used by
+        the batched refine schedule to reflect every boundary patch of a
+        level in a single launch.
+        """
         touches = patch.touches_boundary()
         if not touches:
-            return
+            return None
+        from ..exec.batch import BatchMember
+
         level = patch.level
 
         def body():
@@ -126,6 +143,5 @@ class ReflectiveBoundary:
         # Ghost-only: reflects interior values into ghost layers, so every
         # field's interior generation is untouched and its wall ghosts are
         # refreshed from itself.
-        backend_for(pds[0], rank).run(
-            "hydro.update_halo", strip, body, reads=pds, writes=pds,
-            ghost_only=True, marks=[("stamp", pd, (pd,)) for pd in pds])
+        return BatchMember(strip, body, reads=pds, writes=pds,
+                           marks=[("stamp", pd, (pd,)) for pd in pds])

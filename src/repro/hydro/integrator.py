@@ -72,6 +72,10 @@ class SimulationConfig:
     #: accesses, happens-before replay, residency and stale-halo checks;
     #: observation-only, bitwise identical to a normal run
     sanitize: bool = False
+    #: fuse same-kernel, same-level per-patch launches into one launch
+    #: per (backend, level) — the AMReX MultiFab-style launch batching;
+    #: changes modelled time only, results stay bitwise identical
+    batch_launches: bool = False
 
     def __post_init__(self):
         # Fine levels inherit the run's patch-size limit unless the regrid
@@ -222,6 +226,7 @@ class LagrangianEulerianIntegrator:
                 level, coarse, self._specs_for(names), self.comm,
                 self.factory, boundary=self.boundary,
                 geometry_cache=self._geometry_cache,
+                batch=self.config.batch_launches,
             )
             self._fill_schedules[key] = sched
         return sched
@@ -241,6 +246,27 @@ class LagrangianEulerianIntegrator:
         for level in self.hierarchy:
             for patch in level:
                 fn(patch, self.comm.rank(patch.owner))
+
+    def _sweep(self, fn) -> None:
+        """One kernel sweep over every patch, fused per level if batching.
+
+        With ``config.batch_launches`` the sweep's per-patch launches are
+        collected and replayed as one fused launch per (backend, level)
+        group; otherwise this is exactly ``_foreach_patch``.
+        """
+        if not self.config.batch_launches:
+            self._foreach_patch(fn)
+            return
+        from ..exec.batch import LaunchBatcher
+
+        pi = self.patch_integrator
+        batcher = LaunchBatcher()
+        pi.batch_sink = batcher
+        try:
+            self._foreach_patch(fn)
+        finally:
+            pi.batch_sink = None
+        batcher.flush()
 
     # -- the timestep --------------------------------------------------------------
 
@@ -284,27 +310,27 @@ class LagrangianEulerianIntegrator:
             self._fill_group("step_start")
             # EOS extended into the ghosts gives viscosity/accelerate their
             # pressure halos without a separate exchange.
-            self._foreach_patch(lambda p, r: pi.ideal_gas(p, r, ext=2))
-            self._foreach_patch(lambda p, r: pi.viscosity(p, r))
+            self._sweep(lambda p, r: pi.ideal_gas(p, r, ext=2))
+            self._sweep(lambda p, r: pi.viscosity(p, r))
             self._fill_group("post_viscosity")
 
         with self._phase("timestep"):
             dt = self._compute_dt()
 
         with self._phase("hydro"):
-            self._foreach_patch(lambda p, r: pi.pdv(p, r, True, dt))
-            self._foreach_patch(lambda p, r: pi.ideal_gas(p, r, predict=True))
+            self._sweep(lambda p, r: pi.pdv(p, r, True, dt))
+            self._sweep(lambda p, r: pi.ideal_gas(p, r, predict=True))
             self._fill_group("half_step")
-            self._foreach_patch(lambda p, r: pi.accelerate(p, r, dt))
-            self._foreach_patch(lambda p, r: pi.pdv(p, r, False, dt))
-            self._foreach_patch(lambda p, r: pi.flux_calc(p, r, dt))
+            self._sweep(lambda p, r: pi.accelerate(p, r, dt))
+            self._sweep(lambda p, r: pi.pdv(p, r, False, dt))
+            self._sweep(lambda p, r: pi.flux_calc(p, r, dt))
             self._fill_group("pre_advec")
 
             first = 0 if self.step_count % 2 == 0 else 1
             second = 1 - first
             self._advect(first, 1)
             self._advect(second, 2)
-            self._foreach_patch(lambda p, r: pi.reset_field(p, r))
+            self._sweep(lambda p, r: pi.reset_field(p, r))
 
         with self._phase("sync"):
             self._synchronise()
@@ -321,23 +347,25 @@ class LagrangianEulerianIntegrator:
         """
         for level in self.hierarchy:
             self._fill_group_level(level, PRIMARY_FIELDS)
-        self._foreach_patch(
+        self._sweep(
             lambda p, r: self.patch_integrator.ideal_gas(p, r, ext=2)
         )
 
     def _advect(self, direction: int, sweep_number: int) -> None:
         pi = self.patch_integrator
-        self._foreach_patch(
+        self._sweep(
             lambda p, r: pi.advec_cell(p, r, direction, sweep_number)
         )
         self._fill_group("mid_advec_x" if direction == 0 else "mid_advec_y")
         for which_vel in (0, 1):
-            self._foreach_patch(
+            self._sweep(
                 lambda p, r, wv=which_vel: pi.advec_mom(
                     p, r, direction, sweep_number, wv)
             )
 
     def _compute_dt(self) -> float:
+        if self.config.batch_launches:
+            return self._compute_dt_batched()
         pi = self.patch_integrator
         local = [math.inf] * self.comm.size
         for level in self.hierarchy:
@@ -346,6 +374,36 @@ class LagrangianEulerianIntegrator:
                 dt = pi.calc_dt(patch, rank)
                 if dt < local[patch.owner]:
                     local[patch.owner] = dt
+        dt = self.comm.allreduce_min(local)
+        return self._apply_dt_policy(dt)
+
+    def _compute_dt_batched(self) -> float:
+        """One fused CFL reduce per (backend, level) group.
+
+        The per-patch path launches one ``calc_dt`` kernel and reads one
+        scalar back per patch — a serialized PCIe-latency chain.  Fused,
+        each group is one launch whose members' minima are combined on
+        the device and read back once.  The min is an exact selection,
+        so the dt is bitwise identical to the per-patch chain.
+        """
+        from ..exec.batch import LaunchBatcher
+
+        pi = self.patch_integrator
+        batcher = LaunchBatcher()
+        slots: list[tuple[int, object]] = []
+        pi.batch_sink = batcher
+        try:
+            for level in self.hierarchy:
+                for patch in level:
+                    rank = self.comm.rank(patch.owner)
+                    slots.append((patch.owner, pi.calc_dt(patch, rank)))
+        finally:
+            pi.batch_sink = None
+        batcher.flush()
+        local = [math.inf] * self.comm.size
+        for owner, slot in slots:
+            if slot.value < local[owner]:
+                local[owner] = slot.value
         dt = self.comm.allreduce_min(local)
         return self._apply_dt_policy(dt)
 
@@ -377,6 +435,7 @@ class LagrangianEulerianIntegrator:
                 self.hierarchy.level(fine_num),
                 self.hierarchy.level(fine_num - 1),
                 specs, self.comm, self.factory,
+                batch=self.config.batch_launches,
             )
             self._coarsen_schedules[fine_num] = sched
         return sched

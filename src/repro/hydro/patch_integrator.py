@@ -40,6 +40,11 @@ class CleverleafPatchIntegrator:
     #: ``_run`` then returns the Task, not the kernel result
     task_sink = None
 
+    #: when set (a :class:`repro.exec.batch.LaunchBatcher`), kernel
+    #: launches are *collected* for per-level fusion instead of executed —
+    #: ``_run`` then returns None (or a BatchSlot for reduction kernels)
+    batch_sink = None
+
     def __init__(self, gamma: float = 1.4):
         self.gamma = gamma
 
@@ -53,14 +58,17 @@ class CleverleafPatchIntegrator:
         return {n: array_of(patch.data(n)) for n in names}
 
     def _run(self, patch: "Patch", rank: "Rank", kernel: str, elements: int,
-             body, reads=(), writes=(), ghost_reads=(), ghost_propagate=None):
+             body, reads=(), writes=(), ghost_reads=(), ghost_propagate=None,
+             combine=None):
         """Dispatch one kernel with its declared accesses.
 
         ``ghost_reads`` names the operands whose ghost regions the stencil
         reaches (validated against halo-fill stamps under ``--sanitize``);
         ``ghost_propagate`` maps a written field to the ghost-read fields
         its out-of-interior values are *derived from* (EOS over the frame),
-        so the written field inherits their halo stamps.
+        so the written field inherits their halo stamps.  ``combine``
+        reduces per-patch kernel results when launches are fused
+        (``--batch``): the CFL min.
         """
         backend = self._backend(patch, rank)
         read_pds = [patch.data(n) for n in reads]
@@ -71,10 +79,18 @@ class CleverleafPatchIntegrator:
             for dst, srcs in ghost_propagate.items():
                 marks.append(("propagate", patch.data(dst),
                               [patch.data(s) for s in srcs]))
+        if self.batch_sink is not None:
+            from ..exec.batch import BatchMember
+            member = BatchMember(elements, body, read_pds, write_pds,
+                                 ghost_pds, marks)
+            return self.batch_sink.collect(
+                backend, kernel, member,
+                level=patch.level.level_number, combine=combine)
         if self.task_sink is not None:
             return self.task_sink.kernel_task(
                 backend, rank, kernel, elements, body, read_pds, write_pds,
-                ghost_reads=ghost_pds, marks=marks)
+                ghost_reads=ghost_pds, marks=marks,
+                level=patch.level.level_number, combine=combine)
         return backend.run(kernel, elements, body,
                            reads=read_pds, writes=write_pds,
                            ghost_reads=ghost_pds, marks=marks)
@@ -163,8 +179,18 @@ class CleverleafPatchIntegrator:
             return K.calc_dt(a["density0"], a["soundspeed"], a["viscosity"],
                              a["xvel0"], a["yvel0"], nx, ny, g, dx, dy)
 
-        dt = self._run(patch, rank, "hydro.calc_dt", nx * ny, body, reads=names)
+        dt = self._run(patch, rank, "hydro.calc_dt", nx * ny, body,
+                       reads=names, combine=min)
+        if self.batch_sink is not None:
+            # ``dt`` is a BatchSlot; one fused reduce per (backend, level)
+            # group fills it at flush, with one D2H readback per group
+            # instead of one per patch.
+            return dt
         if self.task_sink is not None:
+            if dt is None:
+                # Fused into a pending batch; the builder emits one
+                # readback task per fused group instead.
+                return None
             # ``dt`` is the kernel Task; chain the readback as a D2H task.
             return self.task_sink.dt_readback(
                 self._backend(patch, rank), rank, dt)

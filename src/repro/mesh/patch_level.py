@@ -70,7 +70,15 @@ class PatchLevel:
     # -- allocation ----------------------------------------------------------
 
     def allocate_all(self, variables: "VariableRegistry", factory, comm: "SimCommunicator") -> None:
-        """Allocate every declared variable on every patch."""
+        """Allocate every declared variable on every patch.
+
+        Arena-mode factories pool each variable's storage for a rank's
+        patches into one slab with per-patch offsets; the per-patch loop
+        is the reference layout.
+        """
+        if getattr(factory, "arena", False):
+            factory.allocate_level(self, variables, comm)
+            return
         for patch in self.patches:
             rank = comm.rank(patch.owner)
             for var in variables:

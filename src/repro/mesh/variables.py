@@ -65,20 +65,77 @@ class VariableRegistry:
 
 
 class HostDataFactory:
-    """Allocates CPU-resident patch data."""
+    """Allocates CPU-resident patch data.
+
+    With ``arena=True``, level-wide allocation pools each variable's
+    storage for all of a rank's patches into one
+    :class:`~repro.pdat.arena.HostArena` slab (per-patch ``allocate``
+    calls — schedule temporaries — stay individual allocations).
+    """
 
     location = "host"
+
+    def __init__(self, arena: bool = False):
+        self.arena = arena
 
     def allocate(self, var: Variable, box: "Box", rank) -> "PatchData":  # noqa: ARG002
         return allocate_host(var, box)
 
+    def allocate_level(self, level, variables, comm) -> None:
+        """Arena-pooled allocation of every variable on every patch."""
+        import math
+
+        from ..pdat.arena import HostArena, frame_box_of
+
+        for owner in sorted({p.owner for p in level.patches}):
+            patches = level.local_patches(owner)
+            for var in variables:
+                shapes = [tuple(frame_box_of(var, p.box).shape())
+                          for p in patches]
+                arena = HostArena(sum(math.prod(s) for s in shapes))
+                for patch, shape in zip(patches, shapes):
+                    pd = allocate_host(var, patch.box,
+                                       buffer=arena.place(shape))
+                    patch.set_data(var.name, pd)
+
 
 class CudaDataFactory:
-    """Allocates GPU-resident patch data on the owning rank's device."""
+    """Allocates GPU-resident patch data on the owning rank's device.
+
+    With ``arena=True``, level-wide allocation pools each variable's
+    storage for all of a rank's patches into one
+    :class:`~repro.cupdat.arena.DeviceArena` slab on the owning device.
+    """
 
     location = "device"
+
+    def __init__(self, arena: bool = False):
+        self.arena = arena
 
     def allocate(self, var: Variable, box: "Box", rank) -> "PatchData":
         if rank.device is None:
             raise ValueError(f"rank {rank.index} has no device for CUDA data")
         return allocate_device(var, box, rank.device)
+
+    def allocate_level(self, level, variables, comm) -> None:
+        """Arena-pooled allocation of every variable on every patch."""
+        import math
+
+        from ..cupdat.arena import DeviceArena
+        from ..pdat.arena import frame_box_of
+
+        for owner in sorted({p.owner for p in level.patches}):
+            rank = comm.rank(owner)
+            if rank.device is None:
+                raise ValueError(
+                    f"rank {rank.index} has no device for CUDA data")
+            patches = level.local_patches(owner)
+            for var in variables:
+                shapes = [tuple(frame_box_of(var, p.box).shape())
+                          for p in patches]
+                arena = DeviceArena(rank.device,
+                                    sum(math.prod(s) for s in shapes))
+                for patch, shape in zip(patches, shapes):
+                    pd = allocate_device(var, patch.box, rank.device,
+                                         darr=arena.place(shape))
+                    patch.set_data(var.name, pd)

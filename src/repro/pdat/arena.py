@@ -1,0 +1,55 @@
+"""Patch arenas: one pooled allocation per (level, rank, variable).
+
+The per-patch allocation style gives every field of every patch its own
+buffer; a level with hundreds of small boxes means hundreds of small
+allocations, and fused launches over them still hop between scattered
+buffers.  An arena instead lays out one variable's storage for *every
+local patch of a level* contiguously in a single slab, with per-patch
+offsets — AMReX's MultiFab layout, and the substrate the fused-launch
+path in :mod:`repro.exec.batch` runs over.
+
+:class:`HostArena` is the host flavour: members are NumPy views into one
+slab, handed to :class:`~repro.pdat.array_data.ArrayData` as
+preallocated storage.  The device twin lives in
+:mod:`repro.cupdat.arena`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..mesh.box import Box
+from .patch_data import cell_frame, node_frame, side_frame
+
+__all__ = ["HostArena", "frame_box_of"]
+
+
+def frame_box_of(var, box: Box) -> Box:
+    """The storage frame a variable's patch data will cover on ``box``."""
+    if var.centring == "cell":
+        return cell_frame(box, var.ghosts)
+    if var.centring == "node":
+        return node_frame(box, var.ghosts)
+    return side_frame(box, var.ghosts, var.axis)
+
+
+class HostArena:
+    """One host slab holding many patch frames back-to-back."""
+
+    def __init__(self, total_elements: int, dtype=np.float64):
+        self.slab = np.empty(int(total_elements), dtype=dtype)
+        self.offsets: list[int] = []
+        self._used = 0
+
+    def place(self, shape) -> np.ndarray:
+        """Carve the next member off the slab as a shaped view."""
+        n = math.prod(int(s) for s in shape)
+        if self._used + n > self.slab.size:
+            raise ValueError(
+                f"arena overflow: {self._used} + {n} > {self.slab.size}")
+        view = self.slab[self._used:self._used + n].reshape(tuple(shape))
+        self.offsets.append(self._used)
+        self._used += n
+        return view

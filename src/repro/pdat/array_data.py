@@ -18,9 +18,20 @@ __all__ = ["ArrayData"]
 class ArrayData:
     """Host-memory array covering ``frame`` (inclusive index box)."""
 
-    def __init__(self, frame: Box, fill: float | None = None, dtype=np.float64):
+    def __init__(self, frame: Box, fill: float | None = None, dtype=np.float64,
+                 buffer: np.ndarray | None = None):
+        """``buffer``, if given, is preallocated storage of the frame's
+        shape (an arena member view) used instead of a fresh array."""
         self.frame = frame
-        if fill is None:
+        if buffer is not None:
+            if buffer.shape != tuple(frame.shape()):
+                raise ValueError(
+                    f"buffer shape {buffer.shape} != frame shape "
+                    f"{tuple(frame.shape())}")
+            self.array = buffer
+            if fill is not None:
+                self.array.fill(fill)
+        elif fill is None:
             self.array = np.empty(tuple(frame.shape()), dtype=dtype)
         else:
             self.array = np.full(tuple(frame.shape()), fill, dtype=dtype)

@@ -15,8 +15,11 @@ __all__ = ["CellData"]
 class CellData(CellCentring, HostBackedData):
     """One float64 value per cell, with ``ghosts`` ghost layers."""
 
-    def __init__(self, box: Box, ghosts: int, fill: float | None = None):
-        super().__init__(box, ghosts, ArrayData(cell_frame(box, ghosts), fill=fill))
+    def __init__(self, box: Box, ghosts: int, fill: float | None = None,
+                 buffer=None):
+        super().__init__(box, ghosts,
+                         ArrayData(cell_frame(box, ghosts), fill=fill,
+                                   buffer=buffer))
 
     def interior(self) -> np.ndarray:
         return self.data.view(self.box)

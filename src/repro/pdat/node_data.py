@@ -17,5 +17,8 @@ class NodeData(NodeCentring, HostBackedData):
     axis; node ``i`` sits at the lower corner of cell ``i``.
     """
 
-    def __init__(self, box: Box, ghosts: int, fill: float | None = None):
-        super().__init__(box, ghosts, ArrayData(node_frame(box, ghosts), fill=fill))
+    def __init__(self, box: Box, ghosts: int, fill: float | None = None,
+                 buffer=None):
+        super().__init__(box, ghosts,
+                         ArrayData(node_frame(box, ghosts), fill=fill,
+                                   buffer=buffer))

@@ -19,6 +19,9 @@ __all__ = ["SideData"]
 class SideData(SideCentring, HostBackedData):
     """One float64 value per cell face normal to ``axis``."""
 
-    def __init__(self, box: Box, ghosts: int, axis: int, fill: float | None = None):
+    def __init__(self, box: Box, ghosts: int, axis: int,
+                 fill: float | None = None, buffer=None):
         self.axis = self.check_axis(box, axis)
-        super().__init__(box, ghosts, ArrayData(side_frame(box, ghosts, axis), fill=fill))
+        super().__init__(box, ghosts,
+                         ArrayData(side_frame(box, ghosts, axis), fill=fill,
+                                   buffer=buffer))

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from ..check.context import active as _check_active
+from ..exec.batch import BatchMember, union_pds
 from .task import Task, TaskGraph, TaskKind
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -27,22 +28,54 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["GraphBuilder"]
 
 
+class _FusionGroup:
+    """Pending same-kernel, same-level launches awaiting coalescing."""
+
+    __slots__ = ("backend", "rank", "kernel", "combine", "members",
+                 "read_ids", "write_ids")
+
+    def __init__(self, backend, rank, kernel, combine):
+        self.backend = backend
+        self.rank = rank
+        self.kernel = kernel
+        self.combine = combine
+        self.members: list[BatchMember] = []
+        self.read_ids: set[int] = set()
+        self.write_ids: set[int] = set()
+
+
 class GraphBuilder:
     """Builds one phase's :class:`~repro.sched.task.TaskGraph`.
 
     Also serves as the *task sink* the patch integrator routes kernel
     launches through while a phase is being recorded (see
     ``CleverleafPatchIntegrator.task_sink``).
+
+    With ``fuse=True`` (``--batch`` under the scheduler), same-kernel,
+    same-level kernel tasks with disjoint declared writes are coalesced
+    into one batched task per (backend, level) whose declarations are the
+    union of its members' — so dependency derivation, race replay and
+    ``--sanitize`` treat the batch exactly as the sum of its parts.
+    Groups flush when the sweep kernel changes, when any non-kernel task
+    is added (data edges must see fused tasks in emission order), or at
+    :meth:`flush_fusion` before execution.
     """
 
-    def __init__(self, comm: "SimCommunicator"):
+    def __init__(self, comm: "SimCommunicator", fuse: bool = False):
         self.comm = comm
+        self.fuse = fuse
         self.graph = TaskGraph()
         self._writer: dict[int, Task] = {}
         self._readers: dict[int, list[Task]] = {}
         # Keep every keyed object alive for the graph's lifetime so id()
         # keys can never be recycled onto new objects mid-build.
         self._retained: list[object] = []
+        self._pending: dict = {}
+        self._pending_order: list = []
+        self._pending_kernel: str | None = None
+        #: (rank_index, readback_task) per fused reduction group, consumed
+        #: by the scheduler's dt reduction
+        self.fused_readbacks: list[tuple[int, Task]] = []
 
     # -- generic emission ------------------------------------------------------
 
@@ -59,6 +92,14 @@ class GraphBuilder:
         the sanitizer's stale-halo machinery (emission order *is* the
         intended data-flow order) and are ignored when it is inactive.
         """
+        self.flush_fusion()
+        return self._add(kind, rank, label, fn, reads=reads, writes=writes,
+                         after=after, ghost_reads=ghost_reads,
+                         ghost_only=ghost_only, marks=marks)
+
+    def _add(self, kind: TaskKind, rank: int | None, label: str, fn,
+             reads=(), writes=(), after=(),
+             ghost_reads=(), ghost_only=False, marks=()) -> Task:
         reads = list(reads)
         writes = list(writes)
         deps = list(after)
@@ -93,14 +134,80 @@ class GraphBuilder:
 
     def kernel_task(self, backend, rank: "Rank", kernel: str, elements: int,
                     body, reads, writes,
-                    ghost_reads=(), ghost_only=False, marks=()) -> Task:
-        """One compute-kernel launch, dispatched through ``backend``."""
+                    ghost_reads=(), ghost_only=False, marks=(),
+                    level=None, combine=None) -> Task | None:
+        """One compute-kernel launch, dispatched through ``backend``.
+
+        With fusion on, same-kernel launches on the same (backend, level)
+        are collected instead of emitted and return None; the coalesced
+        task appears when the group flushes.  ``combine`` marks a
+        reduction kernel (the CFL min) — its fused group additionally
+        emits one readback task, recorded in :attr:`fused_readbacks`.
+        """
+        if self.fuse and not ghost_only:
+            return self._collect(backend, rank, kernel,
+                                 BatchMember(elements, body, reads, writes,
+                                             ghost_reads, marks),
+                                 level=level, combine=combine)
         return self.add(
             TaskKind.KERNEL, rank.index, kernel,
             lambda _stream: backend.run(kernel, elements, body,
                                        reads=reads, writes=writes),
             reads=reads, writes=writes,
             ghost_reads=ghost_reads, ghost_only=ghost_only, marks=marks)
+
+    def _collect(self, backend, rank: "Rank", kernel: str,
+                 member: BatchMember, level=None, combine=None) -> None:
+        if self._pending_kernel is not None and kernel != self._pending_kernel:
+            # A new sweep started; coalesce the finished one so data
+            # edges between sweeps derive from the fused tasks.
+            self.flush_fusion()
+        key = (id(backend), kernel, level)
+        group = self._pending.get(key)
+        if group is not None:
+            member_writes = set(map(id, member.writes))
+            member_reads = set(map(id, member.reads))
+            if (member_writes & (group.read_ids | group.write_ids)
+                    or member_reads & group.write_ids):
+                # Overlapping operands: not a disjoint-writes sweep, so
+                # serialise against everything pending.
+                self.flush_fusion()
+                group = None
+        if group is None:
+            group = _FusionGroup(backend, rank, kernel, combine)
+            self._pending[key] = group
+            self._pending_order.append(key)
+        group.members.append(member)
+        group.read_ids.update(map(id, member.reads))
+        group.write_ids.update(map(id, member.writes))
+        self._pending_kernel = kernel
+        return None
+
+    def flush_fusion(self) -> None:
+        """Emit every pending fusion group as one batched task each."""
+        if not self._pending:
+            self._pending_kernel = None
+            return
+        pending, self._pending = self._pending, {}
+        order, self._pending_order = self._pending_order, []
+        self._pending_kernel = None
+        for key in order:
+            g = pending[key]
+            members = g.members
+            reads = union_pds(m.reads for m in members)
+            writes = union_pds(m.writes for m in members)
+            ghost_reads = union_pds(m.ghost_reads for m in members)
+            marks = [mk for m in members for mk in m.marks]
+
+            def fn(_stream, b=g.backend, k=g.kernel, ms=members, c=g.combine):
+                return b.run_batched(k, ms, combine=c)
+
+            task = self._add(TaskKind.KERNEL, g.rank.index, g.kernel, fn,
+                             reads=reads, writes=writes,
+                             ghost_reads=ghost_reads, marks=marks)
+            if g.combine is not None:
+                rb = self.dt_readback(g.backend, g.rank, task)
+                self.fused_readbacks.append((g.rank.index, rb))
 
     def dt_readback(self, backend, rank: "Rank", kernel_task: Task) -> Task:
         """The reduced CFL scalar crossing the PCIe bus after ``calc_dt``.

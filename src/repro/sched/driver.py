@@ -39,6 +39,11 @@ class StepScheduler:
         self.integrator = integrator
         self.executor = GraphExecutor(
             integrator.comm, overlap=overlap, order_key=order_key)
+        #: coalesce same-kernel, same-level tasks into batched launches
+        self.batch = integrator.config.batch_launches
+
+    def _builder(self) -> GraphBuilder:
+        return GraphBuilder(self.integrator.comm, fuse=self.batch)
 
     @property
     def overlap(self) -> bool:
@@ -56,10 +61,8 @@ class StepScheduler:
         finally:
             pi.task_sink = None
 
-    def _builder(self) -> GraphBuilder:
-        return GraphBuilder(self.integrator.comm)
-
     def _execute(self, gb: GraphBuilder) -> None:
+        gb.flush_fusion()
         self.executor.execute(gb.graph)
 
     def _emit_patches(self, gb: GraphBuilder, fn) -> None:
@@ -141,7 +144,14 @@ class StepScheduler:
             for level in it.hierarchy:
                 for patch in level:
                     rank = it.comm.rank(patch.owner)
-                    dt_tasks.append((patch.owner, pi.calc_dt(patch, rank)))
+                    t = pi.calc_dt(patch, rank)
+                    if t is not None:
+                        dt_tasks.append((patch.owner, t))
+        # With fusion on, calc_dt launches coalesce per (backend, level)
+        # and each fused group contributes one readback task instead of
+        # one per patch.
+        gb.flush_fusion()
+        dt_tasks.extend(gb.fused_readbacks)
 
         def reduce_fn(stream):
             local = [math.inf] * it.comm.size

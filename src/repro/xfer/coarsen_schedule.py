@@ -58,14 +58,27 @@ class CoarsenSchedule:
         specs: list[CoarsenSpec],
         comm: "SimCommunicator",
         factory,
+        batch: bool = False,
     ):
         self.fine_level = fine_level
         self.coarse_level = coarse_level
         self.specs = specs
         self.comm = comm
         self.factory = factory
+        #: fuse the per-variable coarsen kernels into batched launches
+        self.batch = batch
         self.transactions: list[_CoarsenTransaction] = []
         self._build()
+
+    def _member_for(self, spec: CoarsenSpec, fine_patch: "Patch", temp,
+                    region: Box, ratio):
+        """One variable's coarsen work as a fusable batch member."""
+        fine_pd = fine_patch.data(spec.var.name)
+        op = spec.coarsen_op
+        if isinstance(op, CellMassWeightedCoarsen):
+            return op.batch_member_weighted(
+                fine_pd, fine_patch.data(spec.weight_name), temp, region, ratio)
+        return op.batch_member(fine_pd, temp, region, ratio)
 
     def _build(self) -> None:
         ratio = self.fine_level.ratio_to_coarser
@@ -83,17 +96,17 @@ class CoarsenSchedule:
         travel together — one fused copy (same rank) or one message stream
         (cross rank) — so only already-coarsened bytes cross the network.
         """
-        from ..comm.simcomm import Message
         from ..check.context import active as _check_active
-        from .message import copy_batch_local, pack_batch, unpack_batch
-        from .transfer import MESSAGE_HEADER_BYTES
 
         chk = _check_active()
         messages = []
         ratio = self.fine_level.ratio_to_coarser
+        if self.batch:
+            self._coarsen_batched(messages, chk, ratio)
+            self.comm.exchange(messages)
+            return
         for t in self.transactions:
             fine_rank = self.comm.rank(t.fine_patch.owner)
-            coarse_rank = self.comm.rank(t.coarse_patch.owner)
             temps = []
             for spec in self.specs:
                 var = spec.var
@@ -111,32 +124,72 @@ class CoarsenSchedule:
                 else:
                     op.apply(fine_pd, temp, region, ratio, rank=fine_rank)
                 temps.append((spec, temp, region))
-            if fine_rank.index == coarse_rank.index:
-                copy_batch_local(
-                    [(t.coarse_patch.data(s.var.name), temp, region)
-                     for s, temp, region in temps],
-                    coarse_rank,
-                )
-            else:
-                buf = pack_batch(
-                    [(temp, region) for _, temp, region in temps], fine_rank
-                )
-                messages.append(Message(fine_rank.index, coarse_rank.index,
-                                        buf.nbytes + MESSAGE_HEADER_BYTES))
-                unpack_batch(
-                    buf,
-                    [(t.coarse_patch.data(s.var.name), region)
-                     for s, _, region in temps],
-                    coarse_rank,
-                )
-            if chk is not None:
-                for s, _, _ in temps:
-                    chk.note_interior_write(t.coarse_patch.data(s.var.name))
-            for _, temp, _ in temps:
-                free = getattr(temp, "free", None)
-                if free is not None:
-                    free()
+            self._ship(t, temps, messages, chk)
         self.comm.exchange(messages)
+
+    def _coarsen_batched(self, messages, chk, ratio) -> None:
+        """Batched execution: one ``geom.coarsen`` launch per fine backend
+        covering every (transaction, variable) pair, then the per-pair
+        ship phase exactly as in the reference path."""
+        from ..exec.backend import backend_for
+
+        staged: list[tuple[_CoarsenTransaction, list]] = []
+        groups: dict[int, tuple[object, list]] = {}
+        for t in self.transactions:
+            fine_rank = self.comm.rank(t.fine_patch.owner)
+            temps = []
+            for spec in self.specs:
+                var = spec.var
+                region = self._region_for(var, t.region)
+                temp_var = Variable(f"_tmp_{var.name}", var.centring, 0, var.axis)
+                temp = self.factory.allocate(
+                    temp_var, temp_box_for(var, region), fine_rank
+                )
+                member = self._member_for(spec, t.fine_patch, temp, region,
+                                          ratio)
+                backend = backend_for(temp, fine_rank)
+                entry = groups.setdefault(id(backend), (backend, []))
+                entry[1].append(member)
+                temps.append((spec, temp, region))
+            staged.append((t, temps))
+        for backend, members in groups.values():
+            backend.run_batched("geom.coarsen", members)
+        for t, temps in staged:
+            self._ship(t, temps, messages, chk)
+
+    def _ship(self, t: "_CoarsenTransaction", temps, messages, chk) -> None:
+        """Move one transaction's coarsened temps to the coarse owner."""
+        from ..comm.simcomm import Message
+        from .message import copy_batch_local, pack_batch, unpack_batch
+        from .transfer import MESSAGE_HEADER_BYTES
+
+        fine_rank = self.comm.rank(t.fine_patch.owner)
+        coarse_rank = self.comm.rank(t.coarse_patch.owner)
+        if fine_rank.index == coarse_rank.index:
+            copy_batch_local(
+                [(t.coarse_patch.data(s.var.name), temp, region)
+                 for s, temp, region in temps],
+                coarse_rank,
+            )
+        else:
+            buf = pack_batch(
+                [(temp, region) for _, temp, region in temps], fine_rank
+            )
+            messages.append(Message(fine_rank.index, coarse_rank.index,
+                                    buf.nbytes + MESSAGE_HEADER_BYTES))
+            unpack_batch(
+                buf,
+                [(t.coarse_patch.data(s.var.name), region)
+                 for s, _, region in temps],
+                coarse_rank,
+            )
+        if chk is not None:
+            for s, _, _ in temps:
+                chk.note_interior_write(t.coarse_patch.data(s.var.name))
+        for _, temp, _ in temps:
+            free = getattr(temp, "free", None)
+            if free is not None:
+                free()
 
     def emit_tasks(self, gb) -> None:
         """Record this synchronisation into a graph builder.
@@ -164,6 +217,21 @@ class CoarsenSchedule:
                 )
                 fine_pd = t.fine_patch.data(var.name)
                 op = spec.coarsen_op
+                if self.batch:
+                    # Route through the builder's fusion pass: members
+                    # coalesce into one geom.coarsen task per transaction
+                    # (the following copy/stream flushes the group).
+                    from ..exec.backend import backend_for
+
+                    member = self._member_for(spec, t.fine_patch, temp,
+                                              region, ratio)
+                    gb.kernel_task(backend_for(temp, fine_rank), fine_rank,
+                                   "geom.coarsen", member.elements,
+                                   member.body, list(member.reads),
+                                   list(member.writes),
+                                   level=self.fine_level.level_number)
+                    temps.append((spec, temp, region))
+                    continue
                 if isinstance(op, CellMassWeightedCoarsen):
                     weight_pd = t.fine_patch.data(spec.weight_name)
                     reads = [fine_pd, weight_pd]

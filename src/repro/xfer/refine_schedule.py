@@ -211,6 +211,7 @@ class RefineSchedule:
         src_level: "PatchLevel | None" = None,
         interior: bool = False,
         geometry_cache: dict | None = None,
+        batch: bool = False,
     ):
         self.dst_level = dst_level
         self.coarse_level = coarse_level
@@ -219,6 +220,8 @@ class RefineSchedule:
         self.factory = factory
         self.boundary = boundary
         self.interior = interior
+        #: fuse clamp/refine/boundary kernels into batched launches
+        self.batch = batch
         if src_level is None and not interior:
             src_level = dst_level
         cache = geometry_cache if geometry_cache is not None else {}
@@ -309,14 +312,20 @@ class RefineSchedule:
             if chk is not None and not self.interior:
                 for n, _ in named:
                     chk.stamp(dst.data(n), (src.data(n),))
-        for geom, group in self.sig_groups:
-            for ig in geom.interps:
-                self._execute_interp_group(group, ig, messages)
+        if self.batch:
+            self._fill_interps_batched(messages)
+        else:
+            for geom, group in self.sig_groups:
+                for ig in geom.interps:
+                    self._execute_interp_group(group, ig, messages)
         self.comm.exchange(messages)
         if self.boundary is not None:
             variables = [spec.var for spec, _ in self.items]
-            for dst in self.dst_level:
-                self.boundary.apply_all(dst, variables, ranks[dst.owner])
+            if self.batch:
+                self._apply_boundary_batched(variables, ranks)
+            else:
+                for dst in self.dst_level:
+                    self.boundary.apply_all(dst, variables, ranks[dst.owner])
         if time is not None:
             for dst in self.dst_level:
                 for spec, _ in self.items:
@@ -490,9 +499,122 @@ class RefineSchedule:
             if free is not None:
                 free()
 
+    def _fill_interps_batched(self, messages) -> None:
+        """Batched interpolation: gather every temp block first, then one
+        clamp launch and one refine launch per destination backend.
+
+        Interp regions are mutually disjoint (per-destination remainders
+        after copy subtraction, coalesced) and each temp is private to its
+        region, so fusing across regions and variables is bitwise-safe.
+        Halo stamps ride the fused launch as marks, replacing the
+        per-region ``chk.stamp`` calls of the reference path.
+        """
+        from ..comm.simcomm import Message
+        from ..exec.backend import array_of, backend_for
+        from ..exec.batch import BatchMember
+        from .message import copy_batch_local, pack_batch, unpack_batch
+        from .transfer import MESSAGE_HEADER_BYTES
+
+        entries = []  # (specs, temps, ig, dst_rank)
+        gathers: dict[int, tuple[object, list]] = {}
+        for geom, specs in self.sig_groups:
+            for ig in geom.interps:
+                dst_rank = self.comm.rank(ig.dst_patch.owner)
+                temps = []
+                for spec in specs:
+                    var = spec.var
+                    temp_var = Variable(f"_tmp_{var.name}", var.centring, 0,
+                                        var.axis)
+                    temps.append(self.factory.allocate(
+                        temp_var, temp_box_for(var, ig.coarse_frame), dst_rank
+                    ))
+                for src_patch, sub in ig.sources:
+                    src_rank = self.comm.rank(src_patch.owner)
+                    if src_rank.index == dst_rank.index:
+                        entry = gathers.setdefault(
+                            dst_rank.index, (dst_rank, []))
+                        entry[1].extend(
+                            (temp, src_patch.data(spec.var.name), sub)
+                            for spec, temp in zip(specs, temps))
+                    else:
+                        buf = pack_batch(
+                            [(src_patch.data(s.var.name), sub) for s in specs],
+                            src_rank)
+                        messages.append(Message(
+                            src_rank.index, dst_rank.index,
+                            buf.nbytes + MESSAGE_HEADER_BYTES))
+                        unpack_batch(buf, [(t, sub) for t in temps], dst_rank)
+                entries.append((specs, temps, ig, dst_rank))
+        for rank, items in gathers.values():
+            copy_batch_local(items, rank)
+
+        ghost = not self.interior
+        ratio = self.dst_level.ratio_to_coarser
+        clamps: dict[int, tuple[object, list]] = {}
+        refines: dict[int, tuple[object, list]] = {}
+        for specs, temps, ig, dst_rank in entries:
+            for spec, temp in zip(specs, temps):
+                frame = temp.get_ghost_box()
+                valid = index_box_for(spec.var, self.coarse_level.domain)
+                if not valid.contains_box(frame):
+                    backend = backend_for(temp, dst_rank)
+                    entry = clamps.setdefault(id(backend), (backend, []))
+                    entry[1].append(BatchMember(
+                        frame.size(),
+                        lambda temp=temp, frame=frame, valid=valid:
+                            clamp_extend(array_of(temp), frame, valid),
+                        reads=(temp,), writes=(temp,)))
+                dst_pd = ig.dst_patch.data(spec.var.name)
+                member = spec.refine_op.batch_member(
+                    temp, dst_pd, ig.region, ratio)
+                if ghost:
+                    member.marks = (
+                        ("stamp", dst_pd,
+                         [sp.data(spec.var.name) for sp, _ in ig.sources]),)
+                backend = backend_for(dst_pd, dst_rank)
+                entry = refines.setdefault(id(backend), (backend, []))
+                entry[1].append(member)
+        for backend, members in clamps.values():
+            backend.run_batched("pdat.copy", members)
+        for backend, members in refines.values():
+            backend.run_batched("geom.refine", members, ghost_only=ghost)
+        for _, temps, _, _ in entries:
+            for temp in temps:
+                free = getattr(temp, "free", None)
+                if free is not None:
+                    free()
+
+    def _apply_boundary_batched(self, variables, ranks) -> None:
+        """One ``update_halo`` launch per rank over its boundary patches."""
+        from ..exec.backend import backend_for
+
+        groups: dict[int, tuple[object, list]] = {}
+        for dst in self.dst_level:
+            member = self.boundary.batch_member(dst, variables)
+            if member is None:
+                continue
+            backend = backend_for(member.writes[0], ranks[dst.owner])
+            entry = groups.setdefault(id(backend), (backend, []))
+            entry[1].append(member)
+        for backend, members in groups.values():
+            backend.run_batched("hydro.update_halo", members, ghost_only=True)
+
     def _fused_refine(self, specs, temps, ig: _InterpGeom, dst_rank) -> None:
         """One refine launch covering every variable of the signature."""
         ratio = self.dst_level.ratio_to_coarser
+        if self.batch:
+            # Scheduler path: the surrounding fill.refine task declares the
+            # union of operands; one batched launch replaces the
+            # per-variable (or homogeneous-op fused) launches.
+            from ..exec.backend import backend_for
+
+            members = [
+                spec.refine_op.batch_member(
+                    temp, ig.dst_patch.data(spec.var.name), ig.region, ratio)
+                for spec, temp in zip(specs, temps)
+            ]
+            backend_for(temps[0], dst_rank).run_batched("geom.refine", members)
+            return
         op0 = specs[0].refine_op
         if len(specs) == 1 or any(type(s.refine_op) is not type(op0) for s in specs):
             for spec, temp in zip(specs, temps):

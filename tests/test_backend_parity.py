@@ -21,18 +21,20 @@ FIELDS = ("density0", "energy0", "pressure", "soundspeed",
           "viscosity", "xvel0", "yvel0")
 
 
-def _run(use_gpu: bool, use_scheduler: bool = False, overlap: bool = False):
+def _run(use_gpu: bool, use_scheduler: bool = False, overlap: bool = False,
+         resident: bool = True, batch: bool = False, max_patch: int = 32):
     cfg = RunConfig(
         problem=SodProblem((32, 32)),
         nranks=1,
         use_gpu=use_gpu,
-        resident=True,
+        resident=resident,
         max_levels=2,
-        max_patch_size=32,
+        max_patch_size=max_patch,
         regrid_interval=3,
         max_steps=6,
         use_scheduler=use_scheduler,
         overlap=overlap,
+        batch_launches=batch,
     )
     return run_simulation(cfg)
 
@@ -109,3 +111,157 @@ def test_scheduler_serial_timing_identical(runs, sched_runs):
     _, gpu = runs
     sched, _ = sched_runs
     assert sched.runtime == pytest.approx(gpu.runtime, rel=0, abs=1e-12)
+
+
+# -- level-batched execution (--batch) ----------------------------------------
+
+BATCH_CASES = [
+    # (label, use_gpu, resident, use_scheduler)
+    ("host-serial", False, True, False),
+    ("resident-serial", True, True, False),
+    ("nonresident-serial", True, False, False),
+    ("host-sched", False, True, True),
+    ("resident-sched", True, True, True),
+    ("nonresident-sched", True, False, True),
+]
+
+
+@pytest.fixture(scope="module")
+def batch_runs():
+    """Per-patch reference and batched run for every backend x driver,
+    with small patches so fusion groups hold many members."""
+    out = {}
+    for label, use_gpu, resident, sched in BATCH_CASES:
+        out[label] = (
+            _run(use_gpu, use_scheduler=sched, resident=resident,
+                 max_patch=8),
+            _run(use_gpu, use_scheduler=sched, resident=resident,
+                 max_patch=8, batch=True),
+        )
+    return out
+
+
+@pytest.mark.parametrize("label", [c[0] for c in BATCH_CASES])
+def test_batched_fields_bitwise_identical(batch_runs, label):
+    """Fused launches replay member bodies over the same bits on every
+    backend, under both the serial driver and the task-graph scheduler."""
+    ref, batched = batch_runs[label]
+    assert batched.steps == ref.steps
+    assert batched.sim.hierarchy.num_levels == ref.sim.hierarchy.num_levels
+    for lnum in range(ref.sim.hierarchy.num_levels):
+        for field in FIELDS:
+            a = gather_level_field(ref.sim.hierarchy.level(lnum), field)
+            b = gather_level_field(batched.sim.hierarchy.level(lnum), field)
+            assert np.array_equal(a, b, equal_nan=True), (
+                f"{field} diverged on level {lnum} under --batch ({label})"
+            )
+
+
+@pytest.mark.parametrize("label", [c[0] for c in BATCH_CASES])
+def test_batched_dt_identical(batch_runs, label):
+    """One fused CFL reduce per (backend, level) selects the exact same
+    dt as the per-patch readback chain."""
+    ref, batched = batch_runs[label]
+    assert batched.sim.dt == ref.sim.dt
+    # time is the bit-exact sum of every step's dt
+    assert batched.sim.time == ref.sim.time
+
+
+@pytest.mark.parametrize("label", [c[0] for c in BATCH_CASES])
+def test_batched_run_is_not_slower(batch_runs, label):
+    """Fusing launches can only remove modelled overhead."""
+    ref, batched = batch_runs[label]
+    assert batched.runtime <= ref.runtime
+
+
+def test_batched_run_records_fusion_stats(batch_runs):
+    from repro.exec.stats import combined_stats
+
+    _, batched = batch_runs["resident-serial"]
+    stats = combined_stats(r.exec_stats for r in batched.sim.comm.ranks)
+    assert stats.batches, "no fused launches recorded"
+    total_launches = sum(b.launches for b in stats.batches.values())
+    total_members = sum(b.members for b in stats.batches.values())
+    assert total_members > total_launches  # genuinely fused
+    assert sum(b.overhead_saved_seconds
+               for b in stats.batches.values()) > 0.0
+
+
+# -- property: any fusion grouping preserves bits -----------------------------
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.exec.backend import UNCHARGED_HOST  # noqa: E402
+from repro.exec.batch import BatchMember  # noqa: E402
+
+
+@st.composite
+def _grouping(draw):
+    n = draw(st.integers(min_value=1, max_value=10))
+    assignment = draw(st.lists(st.integers(0, 3), min_size=n, max_size=n))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return n, assignment, seed
+
+
+def _make_members(arrays):
+    """Per-'patch' kernels with non-commutative float work on private
+    data — the same shape as a hydro sweep's members."""
+    members = []
+    for i, a in enumerate(arrays):
+        def body(a=a, i=i):
+            np.multiply(a, 1.0 + 1e-7 * (i + 1), out=a)
+            np.add(a, 0.125 * i, out=a)
+            a[0, :] = a[-1, :] * 2.0 - a[0, :]
+        members.append(BatchMember(a.size, body, reads=(a,), writes=(a,)))
+    return members
+
+
+@given(_grouping())
+@settings(max_examples=30, deadline=None)
+def test_any_fusion_grouping_preserves_bits(case):
+    """Partitioning per-patch launches into *arbitrary* fused groups —
+    any sizes, any interleaving — never changes a single field bit,
+    because members touch disjoint data and run in order within a
+    launch."""
+    n, assignment, seed = case
+    rng = np.random.default_rng(seed)
+    base = [rng.standard_normal((3, 4)) for _ in range(n)]
+
+    ref = [a.copy() for a in base]
+    for m in _make_members(ref):
+        UNCHARGED_HOST.run("hydro.ideal_gas", m.elements, m.body,
+                           reads=m.reads, writes=m.writes)
+
+    fused = [a.copy() for a in base]
+    groups: dict[int, list] = {}
+    for m, g in zip(_make_members(fused), assignment):
+        groups.setdefault(g, []).append(m)
+    for g in sorted(groups):
+        UNCHARGED_HOST.run_batched("hydro.ideal_gas", groups[g])
+
+    for a, b in zip(ref, fused):
+        assert np.array_equal(a, b)
+
+
+@given(_grouping())
+@settings(max_examples=30, deadline=None)
+def test_any_fusion_grouping_preserves_reduction(case):
+    """A reduction fused under any grouping selects the exact scalar the
+    per-member chain would (min of mins, no re-rounding)."""
+    n, assignment, seed = case
+    rng = np.random.default_rng(seed)
+    values = rng.standard_normal(n)
+
+    members = [BatchMember(1, lambda v=v: float(v)) for v in values]
+    per_member = min(
+        UNCHARGED_HOST.run("hydro.calc_dt", m.elements, m.body)
+        for m in members
+    )
+    groups: dict[int, list] = {}
+    for m, g in zip(members, assignment):
+        groups.setdefault(g, []).append(m)
+    grouped = min(
+        UNCHARGED_HOST.run_batched("hydro.calc_dt", groups[g], combine=min)
+        for g in sorted(groups)
+    )
+    assert grouped == per_member

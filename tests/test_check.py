@@ -295,6 +295,55 @@ def test_sanitize_never_changes_field_bits(plain_run, seed):
             f"{key} diverged under --sanitize (seed {seed})")
 
 
+def test_underdeclared_batch_member_is_caught():
+    """Fusion declares the union of its members' operands; a member that
+    under-declares is still caught, because the replay compares observed
+    handouts against the *fused* declarations."""
+    from repro.exec.backend import UNCHARGED_HOST
+
+    class Rank0:
+        index = 0
+
+    chk = SanitizeChecker()
+    gb = GraphBuilder(comm=None, fuse=True)
+    x, y = Datum("density0"), Datum("energy0")
+
+    def write(d):
+        def body():
+            chk.on_handout(d, d.arr)[...] += 1.0
+        return body
+
+    gb.kernel_task(UNCHARGED_HOST, Rank0(), "hydro.pdv", 8, write(x),
+                   [], [x], level=0)
+    # second member "forgets" writes=[y]; fusion cannot re-derive it
+    gb.kernel_task(UNCHARGED_HOST, Rank0(), "hydro.pdv", 8, write(y),
+                   [], [], level=0)
+    gb.flush_fusion()
+    assert len(list(gb.graph.topological_order())) == 1  # genuinely fused
+    with pytest.raises((DeclaredAccessError, RaceError), match="energy0"):
+        _run_graph(chk, gb.graph)
+
+
+def test_sanitize_batched_run_is_clean_and_identical():
+    """``--batch --sanitize`` stays clean under both drivers: fused
+    launches declare the union of their members' operands, so the checker
+    sees every access — and observing changes no bits."""
+    plain = run_simulation(_config())
+    want = _fields(plain.sim)
+    for extra in ({}, {"use_scheduler": True}):
+        sane = run_simulation(_config(batch_launches=True, sanitize=True,
+                                      **extra))
+        assert sane.steps == plain.steps
+        assert sane.sanitize_counters is not None
+        assert sane.sanitize_counters["kernels"] > 0 or \
+            sane.sanitize_counters["tasks"] > 0
+        got = _fields(sane.sim)
+        for key in want:
+            assert np.array_equal(want[key], got[key], equal_nan=True), (
+                f"{key} diverged under --batch --sanitize ({extra})"
+            )
+
+
 def test_sanitize_end_to_end_run_is_clean_and_identical():
     plain = run_simulation(_config(use_scheduler=True, overlap=True))
     sane = run_simulation(_config(use_scheduler=True, overlap=True,
