@@ -42,13 +42,17 @@ def git_sha() -> str | None:
 
 
 def emit(name: str, lines: list[str], config: dict | None = None,
-         metrics: dict | None = None) -> None:
+         metrics: dict | None = None, manifest: dict | None = None) -> None:
     """Record a result block: saved to results/, queued for the terminal
     summary (pytest's fd capture would swallow a direct print), and also
     printed immediately when running outside pytest capture.
 
     ``config`` (the knobs of the run) and ``metrics`` (the measured
     numbers) land in ``BENCH_<name>.json`` beside the text table.
+    ``manifest`` is a run's end-of-run metrics manifest
+    (``repro.api.RunResult.metrics``, schema ``repro.metrics/1``) from a
+    representative run of the sweep, embedded verbatim so regressions
+    can be diffed counter by counter.
     """
     text = "\n".join(lines)
     EMITTED.append((name, text))
@@ -62,6 +66,7 @@ def emit(name: str, lines: list[str], config: dict | None = None,
         "full": FULL,
         "config": config or {},
         "metrics": metrics or {},
+        "metrics_manifest": manifest or {},
         "lines": lines,
     }
     with open(os.path.join(RESULTS_DIR, f"BENCH_{name}.json"), "w") as f:

@@ -17,7 +17,7 @@ modelled time) changes.
 import numpy as np
 import pytest
 
-from repro.app import RunConfig, run_simulation
+from repro.api import RunConfig, run
 from repro.exec.stats import combined_stats
 from repro.hydro.diagnostics import gather_level_field
 from repro.hydro.problems import SodProblem
@@ -41,7 +41,7 @@ def run_point(max_patch: int, batch: bool):
         max_steps=STEPS,
         batch_launches=batch,
     )
-    return run_simulation(cfg)
+    return run(cfg)
 
 
 @pytest.fixture(scope="module")
@@ -97,7 +97,8 @@ def test_batch_table(sweep, benchmark):
          config={"problem": f"sod {RES}x{RES}", "levels": 2, "steps": STEPS,
                  "patch_sizes": PATCH_SIZES},
          metrics={"sweep": [{k: v for k, v in r.items()
-                             if k not in ("off", "on")} for r in sweep]})
+                             if k not in ("off", "on")} for r in sweep]},
+         manifest=sweep[0]["on"].metrics)
 
 
 def test_batch_speedup_on_small_patches(sweep):

@@ -12,7 +12,7 @@
 
 import pytest
 
-from repro.app import RunConfig, run_simulation
+from repro.api import RunConfig, run
 from repro.hydro.problems import SodProblem
 
 from _report import QUICK_STEPS, emit, table
@@ -31,7 +31,11 @@ def run_point(max_patch=RES, regrid_interval=5, steps=QUICK_STEPS):
         regrid_interval=regrid_interval,
         max_steps=steps,
     )
-    return run_simulation(cfg)
+    return run(cfg)
+
+
+#: end-of-run metrics manifest of the largest-patch point, for the JSON
+MANIFEST: dict = {}
 
 
 @pytest.fixture(scope="module")
@@ -39,6 +43,8 @@ def patch_sweep():
     out = []
     for size in (16, 32, 64, 128):
         res = run_point(max_patch=size)
+        MANIFEST.clear()
+        MANIFEST.update(res.metrics)
         stats = res.sim.comm.rank(0).device.stats
         out.append({
             "size": size,
@@ -62,7 +68,8 @@ def test_patch_size_table(patch_sweep, benchmark):
     emit("ablation_patch_size", lines,
          config={"problem": f"sod {RES}x{RES}", "levels": 2,
                  "steps": QUICK_STEPS, "patch_sizes": [16, 32, 64, 128]},
-         metrics={"sweep": patch_sweep})
+         metrics={"sweep": patch_sweep},
+         manifest=MANIFEST)
 
 
 def test_small_patches_multiply_launches(patch_sweep):
@@ -130,7 +137,7 @@ def balancer_sweep(monkeypatch_module=None):
                 use_gpu=True, max_levels=2, max_patch_size=32,
                 max_steps=QUICK_STEPS,
             )
-            res = run_simulation(cfg)
+            res = run(cfg)
             out[name] = res.runtime
         finally:
             lb.assign_owners = original

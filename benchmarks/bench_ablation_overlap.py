@@ -13,7 +13,7 @@ hiding the transfers changes modelled time only, never the solution.
 import numpy as np
 import pytest
 
-from repro.app import RunConfig, run_simulation
+from repro.api import RunConfig, run
 from repro.exec.stats import combined_stats
 from repro.hydro.diagnostics import gather_level_field
 from repro.hydro.problems import SodProblem
@@ -37,7 +37,7 @@ def run_case(overlap: bool):
         use_scheduler=True,
         overlap=overlap,
     )
-    return run_simulation(cfg)
+    return run(cfg)
 
 
 @pytest.fixture(scope="module")
@@ -84,7 +84,8 @@ def test_overlap_table(results, benchmark):
                   "grind_off": off.grind_time, "grind_on": on.grind_time,
                   "hidden_seconds": o.hidden_seconds,
                   "async_seconds": o.async_seconds,
-                  "exposed_seconds": o.exposed_seconds})
+                  "exposed_seconds": o.exposed_seconds},
+         manifest=on.metrics)
 
 
 def test_overlap_improves_grind(results):

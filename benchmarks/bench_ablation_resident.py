@@ -12,7 +12,7 @@ traffic.
 
 import pytest
 
-from repro.app import RunConfig, run_simulation
+from repro.api import RunConfig, run
 from repro.hydro.problems import SodProblem
 
 from _report import QUICK_STEPS, emit, table
@@ -31,7 +31,7 @@ def run_point(resident: bool):
         max_patch_size=RES,
         max_steps=QUICK_STEPS,
     )
-    return run_simulation(cfg)
+    return run(cfg)
 
 
 @pytest.fixture(scope="module")
@@ -46,6 +46,8 @@ def results():
             "transfers": stats.transfers_d2h + stats.transfers_h2d,
             "cells": res.cells,
         }
+        if resident:
+            out["manifest"] = res.metrics
     return out
 
 
@@ -75,7 +77,8 @@ def test_ablation_table(results, benchmark):
          config={"problem": f"sod {RES}x{RES}", "levels": 2,
                  "steps": QUICK_STEPS},
          metrics={"resident": results[True], "copy_per_kernel": results[False],
-                  "speedup": speed, "traffic_ratio": traffic})
+                  "speedup": speed, "traffic_ratio": traffic},
+         manifest=results["manifest"])
 
 
 def test_resident_is_faster(results):

@@ -9,7 +9,7 @@ D2H bytes for the three strategies on a real mid-run hierarchy.
 import numpy as np
 import pytest
 
-from repro.app import RunConfig, build_simulation
+from repro.api import RunConfig, build_simulation
 from repro.hydro.problems import SodProblem
 from repro.regrid.flagging import flag_patch
 

@@ -10,7 +10,7 @@ memory, and modelled runtime.
 import numpy as np
 import pytest
 
-from repro.app import RunConfig, run_simulation
+from repro.api import RunConfig, run
 from repro.hydro.diagnostics import amr_savings, gather_level_field
 from repro.hydro.problems import SodProblem
 from repro.hydro.riemann import sod_exact
@@ -28,7 +28,7 @@ def run_case(max_levels: int, base: int):
         max_levels=max_levels, max_patch_size=2 * base,
         end_time=END_TIME, max_steps=None,
     )
-    return run_simulation(cfg)
+    return run(cfg)
 
 
 def l1_error_fine(sim, n):
@@ -85,7 +85,8 @@ def test_savings_table(cases, benchmark):
                               "mem_bytes": mem_uni, "l1_error": err_uni},
                   "amr": {"cells": amr.cells, "runtime": amr.runtime,
                           "mem_bytes": mem_amr, "l1_error": err_amr},
-                  "savings_factor": s["savings_factor"]})
+                  "savings_factor": s["savings_factor"]},
+         manifest=amr.metrics)
     cases["errors"] = (err_uni, err_amr)
 
 

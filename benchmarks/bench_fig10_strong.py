@@ -14,7 +14,7 @@ GPU advantage is largest at 1 node and decays with node count.
 
 import pytest
 
-from repro.app import RunConfig, run_simulation
+from repro.api import RunConfig, run
 from repro.hydro.problems import SodProblem
 
 from _report import FULL, QUICK_STEPS, emit, table
@@ -35,7 +35,11 @@ def run_point(nodes: int, use_gpu: bool):
         max_patch_size=RES // 4,
         max_steps=QUICK_STEPS,
     )
-    return run_simulation(cfg)
+    return run(cfg)
+
+
+#: end-of-run metrics manifest of the largest GPU point, for the JSON
+MANIFEST: dict = {}
 
 
 @pytest.fixture(scope="module")
@@ -44,6 +48,8 @@ def sweep():
     for nodes in NODES:
         gpu = run_point(nodes, True)
         cpu = run_point(nodes, False)
+        MANIFEST.clear()
+        MANIFEST.update(gpu.metrics)
         rows.append({
             "nodes": nodes,
             "gpus": 2 * nodes,
@@ -70,7 +76,7 @@ def test_fig10_table(sweep, benchmark):
     emit("fig10_strong", lines,
          config={"problem": f"sod {RES}x{RES}", "nodes": NODES, "levels": 3,
                  "steps": QUICK_STEPS},
-         metrics={"sweep": sweep})
+         metrics={"sweep": sweep}, manifest=MANIFEST)
 
 
 def test_gpu_wins_at_one_node(sweep):

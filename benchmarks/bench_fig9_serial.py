@@ -13,12 +13,15 @@ dominate) rising towards the ~2.7x bandwidth ratio at large sizes.
 
 import pytest
 
-from repro.app import RunConfig, run_simulation
+from repro.api import RunConfig, run
 from repro.hydro.problems import SodProblem
 
 from _report import FULL, QUICK_STEPS, emit, table
 
 RESOLUTIONS = [25, 50, 100, 200, 400, 640] + ([1024] if FULL else [])
+
+#: end-of-run metrics manifest of the largest GPU point, for the JSON
+MANIFEST: dict = {}
 
 
 def run_point(res: int, use_gpu: bool):
@@ -31,7 +34,7 @@ def run_point(res: int, use_gpu: bool):
         max_patch_size=max(64, res),
         max_steps=QUICK_STEPS,
     )
-    return run_simulation(cfg)
+    return run(cfg)
 
 
 @pytest.fixture(scope="module")
@@ -40,6 +43,8 @@ def sweep():
     for res in RESOLUTIONS:
         gpu = run_point(res, True)
         cpu = run_point(res, False)
+        MANIFEST.clear()
+        MANIFEST.update(gpu.metrics)
         rows.append({
             "zones": res * res,
             "cells": gpu.cells,
@@ -71,7 +76,8 @@ def test_fig9_table(sweep, benchmark):
          config={"problem": "sod", "resolutions": RESOLUTIONS, "levels": 3,
                  "steps": QUICK_STEPS},
          metrics={"sweep": sweep, "mean_speedup_small": avg_small,
-                  "best_speedup_large": max(r["speedup"] for r in large)})
+                  "best_speedup_large": max(r["speedup"] for r in large)},
+         manifest=MANIFEST)
 
 
 def test_gpu_slower_at_small_sizes(sweep):

@@ -17,7 +17,7 @@ Run:  python examples/resident_vs_copyback.py
 import numpy as np
 
 from repro import gather_level_field
-from repro.app import RunConfig, run_simulation
+from repro.api import RunConfig, run
 from repro.hydro.problems import BlastProblem
 
 STEPS = 12
@@ -41,7 +41,7 @@ def main() -> None:
     results = {}
     fields = {}
     for name, cfg in runs.items():
-        res = run_simulation(cfg)
+        res = run(cfg)
         results[name] = res
         fields[name] = gather_level_field(res.sim.hierarchy.level(0), "density0")
 

@@ -9,7 +9,7 @@ paper's categories.  A smaller, faster version of
 Run:  python examples/weak_scaling.py
 """
 
-from repro.app import RunConfig, run_simulation
+from repro.api import RunConfig, run
 from repro.hydro.problems import TriplePointProblem
 
 NODES = [1, 2, 4, 8]
@@ -31,7 +31,7 @@ def main() -> None:
             regrid_interval=3,
             max_steps=STEPS,
         )
-        res = run_simulation(cfg)
+        res = run(cfg)
         per_gpu_cells = res.cells / nodes
         advanced = per_gpu_cells * res.steps
         t = res.timers

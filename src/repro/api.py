@@ -1,0 +1,250 @@
+"""``repro.api``: the one public entry point for driving a run.
+
+The paper's CleverLeaf main program composes the simulation objects from
+a SAMRAI input file (Fig. 6); this module is the equivalent programmatic
+surface.  A :class:`RunConfig` captures everything an input deck would
+say — problem, machine, rank count, CPU-vs-GPU build, AMR parameters,
+and an :class:`ObservabilityConfig` for tracing and metrics — and
+:func:`run` executes it, returning a structured :class:`RunResult` (final
+field summary, per-step dt history, the rank-merged metrics manifest,
+and the paths of any trace/checkpoint artefacts).
+
+Everything outside the ``repro`` package — the CLI, the benchmarks, the
+examples — imports from here and nowhere else (enforced by the ``api``
+rule of ``repro.check.lint``).  ``repro.app`` remains as a deprecated
+shim over this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from . import make_communicator
+from .hydro.integrator import LagrangianEulerianIntegrator, SimulationConfig
+from .hydro.patch_integrator import (
+    CleverleafPatchIntegrator,
+    NonResidentGpuPatchIntegrator,
+)
+from .hydro.problems import Problem, SodProblem
+from .mesh.variables import CudaDataFactory, HostDataFactory
+from .obs import (
+    ChromeTraceSink,
+    MemorySink,
+    Tracer,
+    activate_tracer,
+    deactivate_tracer,
+    registry_from_run,
+    run_manifest,
+)
+from .regrid.regridder import RegridConfig
+
+__all__ = [
+    "ObservabilityConfig",
+    "RunConfig",
+    "RunResult",
+    "build_simulation",
+    "run",
+    "scaled",
+]
+
+
+@dataclass
+class ObservabilityConfig:
+    """What a run should record about itself (all observation-only)."""
+
+    #: collect trace spans; implied when ``trace_path`` is set
+    trace: bool = False
+    #: write the spans as Chrome-trace/Perfetto JSON to this path
+    trace_path: str | None = None
+    #: every N steps, append a rank-merged metrics snapshot to
+    #: ``RunResult.metrics_history`` (None = only the end-of-run manifest)
+    metrics_interval: int | None = None
+
+    def __post_init__(self):
+        if self.trace_path is not None:
+            self.trace = True
+        if self.metrics_interval is not None and self.metrics_interval < 1:
+            raise ValueError(
+                f"metrics_interval must be a positive step count, "
+                f"got {self.metrics_interval!r}")
+
+
+@dataclass
+class RunConfig:
+    """One CleverLeaf run, as an input deck would describe it."""
+
+    problem: Problem = field(default_factory=lambda: SodProblem((64, 64)))
+    machine: str = "IPA"
+    nranks: int = 1
+    use_gpu: bool = True
+    resident: bool = True          # False = copy-per-kernel ablation build
+    max_levels: int = 3
+    refinement_ratio: int = 2
+    max_patch_size: int = 64
+    regrid_interval: int = 5
+    max_steps: int | None = None
+    end_time: float | None = None
+    use_scheduler: bool = False    # timesteps as task graphs (repro.sched)
+    overlap: bool = False          # stream-overlapped halo exchange (implies
+                                   # use_scheduler); changes time, not bits
+    sanitize: bool = False         # samrcheck sanitizer (repro.check):
+                                   # observation-only, identical bits
+    batch_launches: bool = False   # arena-pooled storage + fused launches
+                                   # (one launch per level, not per patch);
+                                   # changes time, not bits
+    observability: ObservabilityConfig = field(
+        default_factory=ObservabilityConfig)
+    checkpoint_path: str | None = None  # write a restart .npz at the end
+
+    def simulation_config(self) -> SimulationConfig:
+        return SimulationConfig(
+            max_levels=self.max_levels,
+            refinement_ratio=self.refinement_ratio,
+            max_patch_size=self.max_patch_size,
+            regrid=RegridConfig(regrid_interval=self.regrid_interval),
+            gamma=self.problem.gamma,
+            use_scheduler=self.use_scheduler,
+            overlap=self.overlap,
+            sanitize=self.sanitize,
+            batch_launches=self.batch_launches,
+        )
+
+
+@dataclass
+class RunResult:
+    """Outcome of a run: the integrator plus the structured measurements."""
+
+    sim: LagrangianEulerianIntegrator
+    runtime: float                 # virtual seconds, slowest rank
+    steps: int
+    cells: int
+    timers: dict[str, float]
+    #: conserved-quantity summary of the final hierarchy (mass, ie, ke, …)
+    final_fields: dict[str, float] = field(default_factory=dict)
+    #: the global dt of every step taken, in order
+    dt_history: list[float] = field(default_factory=list)
+    #: the end-of-run metrics manifest (schema ``repro.metrics/1``)
+    metrics: dict = field(default_factory=dict)
+    #: (step, snapshot) pairs taken every ``metrics_interval`` steps
+    metrics_history: list[tuple[int, dict]] = field(default_factory=list)
+    #: where the Chrome-trace JSON was written, if tracing was on
+    trace_path: str | None = None
+    #: the collected trace spans (in-memory), if tracing was on
+    trace_spans: list = field(default_factory=list)
+    #: where the restart checkpoint was written, if requested
+    checkpoint_path: str | None = None
+    #: sanitize-mode counters (tasks/kernels/graphs checked), None otherwise
+    sanitize_counters: dict[str, int] | None = None
+
+    @property
+    def grind_time(self) -> float:
+        """Virtual seconds per cell per step (the paper's Fig. 11 metric)."""
+        advanced = self.cells * max(self.steps, 1)
+        return self.runtime / advanced if advanced else 0.0
+
+
+def build_simulation(cfg: RunConfig) -> LagrangianEulerianIntegrator:
+    """Compose communicator, factory and integrator for a run config."""
+    comm = make_communicator(cfg.machine, cfg.nranks, gpus=cfg.use_gpu)
+    arena = cfg.batch_launches
+    if cfg.use_gpu and cfg.resident:
+        factory = CudaDataFactory(arena=arena)
+        pi = CleverleafPatchIntegrator(gamma=cfg.problem.gamma)
+    elif cfg.use_gpu:
+        factory = HostDataFactory(arena=arena)
+        pi = NonResidentGpuPatchIntegrator(gamma=cfg.problem.gamma)
+    else:
+        factory = HostDataFactory(arena=arena)
+        pi = CleverleafPatchIntegrator(gamma=cfg.problem.gamma)
+    return LagrangianEulerianIntegrator(
+        cfg.problem, comm, factory, cfg.simulation_config(), patch_integrator=pi
+    )
+
+
+def run(cfg: RunConfig) -> RunResult:
+    """Initialise and run to the configured budget; return measurements."""
+    from .check import SanitizeChecker, activate, deactivate
+    from .hydro.diagnostics import field_summary
+
+    obs = cfg.observability
+    if cfg.max_steps is None and cfg.end_time is None:
+        raise ValueError("need max_steps or end_time")
+
+    sim = build_simulation(cfg)
+
+    tracer = None
+    memory = None
+    if obs.trace:
+        memory = MemorySink()
+        sinks = [memory]
+        if obs.trace_path is not None:
+            sinks.append(ChromeTraceSink(obs.trace_path))
+        tracer = Tracer(sinks)
+        activate_tracer(tracer)
+
+    checker = None
+    dt_history: list[float] = []
+    metrics_history: list[tuple[int, dict]] = []
+    try:
+        if cfg.sanitize:
+            checker = SanitizeChecker()
+            activate(checker)
+        try:
+            sim.initialise()
+            start = sim.elapsed()
+            while True:
+                if cfg.max_steps is not None and sim.step_count >= cfg.max_steps:
+                    break
+                if cfg.end_time is not None and sim.time >= cfg.end_time:
+                    break
+                sim.step()
+                dt_history.append(float(sim.dt))
+                if (obs.metrics_interval is not None
+                        and sim.step_count % obs.metrics_interval == 0):
+                    metrics_history.append(
+                        (sim.step_count, registry_from_run(sim).snapshot()))
+        finally:
+            if cfg.sanitize:
+                deactivate()
+    finally:
+        if tracer is not None:
+            deactivate_tracer()
+            tracer.close()
+
+    counters = None
+    if checker is not None:
+        counters = {
+            "tasks": checker.tasks_checked,
+            "kernels": checker.kernels_checked,
+            "graphs": checker.graphs_checked,
+        }
+
+    manifest = run_manifest(sim, steps=sim.step_count, dt_history=dt_history)
+
+    checkpoint_path = None
+    if cfg.checkpoint_path is not None:
+        from .util.restart import checkpoint, save_npz
+
+        save_npz(checkpoint(sim), cfg.checkpoint_path)
+        checkpoint_path = cfg.checkpoint_path
+
+    return RunResult(
+        sim=sim,
+        runtime=sim.elapsed() - start,
+        steps=sim.step_count,
+        cells=sim.total_cells(),
+        timers=sim.timer_summary(),
+        final_fields={k: float(v) for k, v in field_summary(sim.hierarchy).items()},
+        dt_history=dt_history,
+        metrics=manifest,
+        metrics_history=metrics_history,
+        trace_path=obs.trace_path if tracer is not None else None,
+        trace_spans=memory.spans if memory is not None else [],
+        checkpoint_path=checkpoint_path,
+        sanitize_counters=counters,
+    )
+
+
+def scaled(cfg: RunConfig, **overrides) -> RunConfig:
+    """A copy of a run config with fields replaced (sweep helper)."""
+    return replace(cfg, **overrides)

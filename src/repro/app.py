@@ -1,138 +1,46 @@
-"""CleverLeaf application driver: input-deck style configuration → run.
+"""Deprecated shim over :mod:`repro.api` (the old application driver).
 
-The paper's CleverLeaf main program composes the simulation objects from a
-SAMRAI input file (Fig. 6); this module is the equivalent entry point.  A
-:class:`RunConfig` captures everything an input deck would say — problem,
-machine, rank count, CPU-vs-GPU build, AMR parameters — and
-:func:`build_simulation` / :func:`run_simulation` wire the objects
-together.  The benchmarks and examples all go through this interface.
+This module used to hold the run driver; the public surface moved to
+:mod:`repro.api`, which adds the observability configuration and the
+structured :class:`~repro.api.RunResult`.  Importing the names from here
+still works so existing scripts keep running, but :func:`run_simulation`
+emits a :class:`DeprecationWarning` — migrate to ``repro.api.run``:
+
+.. code-block:: python
+
+    from repro.api import RunConfig, run
+    result = run(RunConfig(max_steps=20))
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import warnings
 
-from . import make_communicator
-from .hydro.integrator import LagrangianEulerianIntegrator, SimulationConfig
-from .hydro.patch_integrator import (
-    CleverleafPatchIntegrator,
-    NonResidentGpuPatchIntegrator,
+# samrcheck: ok — this shim is the one sanctioned re-export of repro.api
+from .api import (
+    ObservabilityConfig,
+    RunConfig,
+    RunResult,
+    build_simulation,
+    run,
+    scaled,
 )
-from .hydro.problems import Problem, SodProblem
-from .mesh.variables import CudaDataFactory, HostDataFactory
-from .regrid.regridder import RegridConfig
 
-__all__ = ["RunConfig", "RunResult", "build_simulation", "run_simulation"]
-
-
-@dataclass
-class RunConfig:
-    """One CleverLeaf run, as an input deck would describe it."""
-
-    problem: Problem = field(default_factory=lambda: SodProblem((64, 64)))
-    machine: str = "IPA"
-    nranks: int = 1
-    use_gpu: bool = True
-    resident: bool = True          # False = copy-per-kernel ablation build
-    max_levels: int = 3
-    refinement_ratio: int = 2
-    max_patch_size: int = 64
-    regrid_interval: int = 5
-    max_steps: int | None = None
-    end_time: float | None = None
-    use_scheduler: bool = False    # timesteps as task graphs (repro.sched)
-    overlap: bool = False          # stream-overlapped halo exchange (implies
-                                   # use_scheduler); changes time, not bits
-    sanitize: bool = False         # samrcheck sanitizer (repro.check):
-                                   # observation-only, identical bits
-    batch_launches: bool = False   # arena-pooled storage + fused launches
-                                   # (one launch per level, not per patch);
-                                   # changes time, not bits
-
-    def simulation_config(self) -> SimulationConfig:
-        return SimulationConfig(
-            max_levels=self.max_levels,
-            refinement_ratio=self.refinement_ratio,
-            max_patch_size=self.max_patch_size,
-            regrid=RegridConfig(regrid_interval=self.regrid_interval),
-            gamma=self.problem.gamma,
-            use_scheduler=self.use_scheduler,
-            overlap=self.overlap,
-            sanitize=self.sanitize,
-            batch_launches=self.batch_launches,
-        )
-
-
-@dataclass
-class RunResult:
-    """Outcome of a run: the integrator plus the headline measurements."""
-
-    sim: LagrangianEulerianIntegrator
-    runtime: float                 # virtual seconds, slowest rank
-    steps: int
-    cells: int
-    timers: dict[str, float]
-    #: sanitize-mode counters (tasks/kernels/graphs checked), None otherwise
-    sanitize_counters: dict[str, int] | None = None
-
-    @property
-    def grind_time(self) -> float:
-        """Virtual seconds per cell per step (the paper's Fig. 11 metric)."""
-        advanced = self.cells * max(self.steps, 1)
-        return self.runtime / advanced if advanced else 0.0
-
-
-def build_simulation(cfg: RunConfig) -> LagrangianEulerianIntegrator:
-    """Compose communicator, factory and integrator for a run config."""
-    comm = make_communicator(cfg.machine, cfg.nranks, gpus=cfg.use_gpu)
-    arena = cfg.batch_launches
-    if cfg.use_gpu and cfg.resident:
-        factory = CudaDataFactory(arena=arena)
-        pi = CleverleafPatchIntegrator(gamma=cfg.problem.gamma)
-    elif cfg.use_gpu:
-        factory = HostDataFactory(arena=arena)
-        pi = NonResidentGpuPatchIntegrator(gamma=cfg.problem.gamma)
-    else:
-        factory = HostDataFactory(arena=arena)
-        pi = CleverleafPatchIntegrator(gamma=cfg.problem.gamma)
-    return LagrangianEulerianIntegrator(
-        cfg.problem, comm, factory, cfg.simulation_config(), patch_integrator=pi
-    )
+__all__ = [
+    "ObservabilityConfig",
+    "RunConfig",
+    "RunResult",
+    "build_simulation",
+    "run_simulation",
+    "scaled",
+]
 
 
 def run_simulation(cfg: RunConfig) -> RunResult:
-    """Initialise and run to the configured budget; return measurements."""
-    from .check import SanitizeChecker, activate, deactivate
-
-    sim = build_simulation(cfg)
-    checker = None
-    if cfg.sanitize:
-        checker = SanitizeChecker()
-        activate(checker)
-    try:
-        sim.initialise()
-        start = sim.elapsed()
-        sim.run(max_steps=cfg.max_steps, end_time=cfg.end_time)
-    finally:
-        if cfg.sanitize:
-            deactivate()
-    counters = None
-    if checker is not None:
-        counters = {
-            "tasks": checker.tasks_checked,
-            "kernels": checker.kernels_checked,
-            "graphs": checker.graphs_checked,
-        }
-    return RunResult(
-        sim=sim,
-        runtime=sim.elapsed() - start,
-        steps=sim.step_count,
-        cells=sim.total_cells(),
-        timers=sim.timer_summary(),
-        sanitize_counters=counters,
+    """Deprecated alias of :func:`repro.api.run`."""
+    warnings.warn(
+        "repro.app.run_simulation is deprecated; use repro.api.run",
+        DeprecationWarning,
+        stacklevel=2,
     )
-
-
-def scaled(cfg: RunConfig, **overrides) -> RunConfig:
-    """A copy of a run config with fields replaced (sweep helper)."""
-    return replace(cfg, **overrides)
+    return run(cfg)

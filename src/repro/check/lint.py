@@ -17,6 +17,9 @@ dynamic checker can only observe at runtime:
   naming a kernel must declare its data accesses (``reads=``/``writes=``),
   because the scheduler derives dependency edges from exactly those
   declarations.
+* **api** — code outside the ``repro`` package (benchmarks, examples,
+  drivers) must import the public facade :mod:`repro.api`, not the
+  deprecated :mod:`repro.app` shim.
 
 A violating line can be waived with a ``# samrcheck: ok`` comment, which
 is itself greppable.  Exit status is the number of violations (0 = clean).
@@ -108,6 +111,28 @@ class _Linter(ast.NodeVisitor):
             self._flag(node, "device",
                        f"raw device memory ({node.id}) outside the gpu "
                        "runtime and the backend seam")
+        self.generic_visit(node)
+
+    # -- api rule --------------------------------------------------------------
+
+    def _inside_repro(self) -> bool:
+        return "repro" in self.path.parts
+
+    def visit_Import(self, node: ast.Import):
+        if not self._inside_repro():
+            for alias in node.names:
+                if alias.name == "repro.app" or alias.name.startswith("repro.app."):
+                    self._flag(node, "api",
+                               "import of deprecated 'repro.app' outside the "
+                               "repro package — use the 'repro.api' facade")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom):
+        if not self._inside_repro() and node.module is not None:
+            if node.module == "repro.app" or node.module.startswith("repro.app."):
+                self._flag(node, "api",
+                           "import from deprecated 'repro.app' outside the "
+                           "repro package — use the 'repro.api' facade")
         self.generic_visit(node)
 
     def visit_Call(self, node: ast.Call):

@@ -11,8 +11,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .app import RunConfig, run_simulation
-from .hydro.diagnostics import field_summary
+from .api import ObservabilityConfig, RunConfig, run
 from .hydro.problems import BlastProblem, SodProblem, TriplePointProblem
 
 __all__ = ["main", "build_parser"]
@@ -61,6 +60,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "and flag residency/stale-halo violations (bitwise "
                         "identical to a normal run; exits non-zero on a "
                         "violation)")
+    p.add_argument("--trace", metavar="FILE.json", default=None,
+                   help="write a Chrome-trace/Perfetto timeline of the run "
+                        "(one track per rank × stream; load in "
+                        "ui.perfetto.dev).  Observation-only: the traced "
+                        "run is bitwise identical to an untraced one")
+    p.add_argument("--metrics-interval", type=int, default=None,
+                   metavar="N", help="record a rank-merged metrics snapshot "
+                                     "every N steps")
     p.add_argument("--profile", action="store_true",
                    help="print the per-kernel / per-transfer attribution "
                         "table collected at the execution-backend seam")
@@ -97,6 +104,11 @@ def main(argv=None) -> int:
         overlap=args.overlap,
         sanitize=args.sanitize,
         batch_launches=args.batch,
+        observability=ObservabilityConfig(
+            trace_path=args.trace,
+            metrics_interval=args.metrics_interval,
+        ),
+        checkpoint_path=args.checkpoint,
     )
     build = ("CPU" if not use_gpu
              else "GPU resident" if cfg.resident else "GPU copy-per-kernel")
@@ -109,7 +121,7 @@ def main(argv=None) -> int:
     print(f"running {args.problem} on {args.nodes} {machine} node(s), "
           f"{nranks} rank(s), {build} build{mode}")
     try:
-        res = run_simulation(cfg)
+        res = run(cfg)
     except Exception as e:
         from .check.errors import CheckError
 
@@ -121,7 +133,7 @@ def main(argv=None) -> int:
 
     print(f"\nadvanced {res.steps} steps to t = {sim.time:.5f}; "
           f"{res.cells} cells on {sim.hierarchy.num_levels} levels")
-    s = field_summary(sim.hierarchy)
+    s = res.final_fields
     print(f"mass = {s['mass']:.6f}  internal = {s['ie']:.6f}  "
           f"kinetic = {s['ke']:.6f}")
     if res.sanitize_counters is not None:
@@ -143,14 +155,15 @@ def main(argv=None) -> int:
         for line in attribution_report(stats, timers=res.timers):
             print(line)
 
+    if res.trace_path:
+        print(f"\ntrace written: {res.trace_path} "
+              f"({len(res.trace_spans)} spans)")
     if args.vtk:
         from .util.visit import write_hierarchy
         index = write_hierarchy(sim, args.vtk)
         print(f"\nVTK dump written: {index}")
-    if args.checkpoint:
-        from .util.restart import checkpoint, save_npz
-        save_npz(checkpoint(sim), args.checkpoint)
-        print(f"checkpoint written: {args.checkpoint}")
+    if res.checkpoint_path:
+        print(f"checkpoint written: {res.checkpoint_path}")
     return 0
 
 

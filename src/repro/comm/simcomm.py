@@ -12,9 +12,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from time import perf_counter
 
 from ..exec.stats import ExecStats
 from ..gpu.device import Device, DeviceSpec
+from ..obs.context import active_tracer
+from ..obs.lanes import HOST, NET
 from ..gpu.kernel import KernelSpec, kernel_spec
 from ..perf.machines import CpuSpec, NetworkSpec
 from ..util.clock import VirtualClock
@@ -58,6 +61,8 @@ class Rank:
             if gpu is not None
             else None
         )
+        if self.device is not None:
+            self.device.trace_rank = index
         self.timers = TimerRegistry(self.clock)
         # Execution backends for this rank's resources.  Imported lazily:
         # repro.exec.backend needs repro.gpu fully loaded first.
@@ -90,7 +95,16 @@ class Rank:
         )
         self.clock.advance(cost)
         self.exec_stats.record_kernel(spec.name, elements, cost, "cpu")
-        return fn(*args)
+        tracer = active_tracer()
+        if tracer is None:
+            return fn(*args)
+        t1 = self.clock.time
+        wall0 = perf_counter()
+        result = fn(*args)
+        tracer.emit(spec.name, "kernel", self.index, HOST,
+                    t1 - cost, t1, wall0, perf_counter(),
+                    elements=max(int(elements), 0))
+        return result
 
     def cpu_charge(self, seconds: float) -> None:
         """Charge raw host-side time (framework overheads, regridding)."""
@@ -135,8 +149,16 @@ class SimCommunicator:
 
     def barrier(self) -> None:
         t = self.max_time()
+        self._advance_all(t, "barrier")
+
+    def _advance_all(self, t: float, name: str) -> None:
+        """Advance every rank to ``t``, tracing who actually waited."""
+        tracer = active_tracer()
         for r in self.ranks:
+            before = r.clock.time
             r.clock.advance_to(t)
+            if tracer is not None and t > before:
+                tracer.emit(name, "comm", r.index, NET, before, t)
 
     def allreduce_min(self, values: list[float], nbytes: int = 8) -> float:
         """MPI_Allreduce(MIN): the paper's one global reduction (dt)."""
@@ -162,8 +184,7 @@ class SimCommunicator:
             total = sum(bytes_per_rank)
             hops = math.ceil(math.log2(self.size))
             t += hops * self.network.latency + total / self.network.bandwidth
-        for r in self.ranks:
-            r.clock.advance_to(t)
+        self._advance_all(t, "allgather")
 
     def _charge_allreduce(self, nbytes: int) -> None:
         # Recursive-doubling model: all ranks meet, then pay 2*log2(P) hops.
@@ -171,8 +192,7 @@ class SimCommunicator:
         if self.size > 1:
             hops = 2 * math.ceil(math.log2(self.size))
             t += hops * self.network.message_cost(nbytes)
-        for r in self.ranks:
-            r.clock.advance_to(t)
+        self._advance_all(t, "allreduce")
 
     # -- non-blocking point-to-point endpoints ---------------------------------
 
@@ -191,16 +211,32 @@ class SimCommunicator:
         start = max(self._nic_done[msg.src], self.ranks[msg.src].clock.time)
         done = start + self.network.message_cost(msg.nbytes)
         self._nic_done[msg.src] = done
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.emit(f"isend->{msg.dst}", "comm", msg.src, NET,
+                        start, done, nbytes=int(msg.nbytes))
         return SendHandle(msg, done)
 
     def wait_recv(self, handle: SendHandle) -> None:
         """Block the receiver until the message has arrived (``MPI_Wait``)."""
-        self.ranks[handle.msg.dst].clock.advance_to(handle.done)
+        dst = self.ranks[handle.msg.dst]
+        before = dst.clock.time
+        dst.clock.advance_to(handle.done)
+        tracer = active_tracer()
+        if tracer is not None and handle.done > before:
+            tracer.emit(f"recv<-{handle.msg.src}", "comm", handle.msg.dst,
+                        HOST, before, handle.done,
+                        nbytes=int(handle.msg.nbytes))
 
     def wait_all_sends(self) -> None:
         """Every rank waits for its own posted sends (``MPI_Waitall``)."""
+        tracer = active_tracer()
         for r, done in zip(self.ranks, self._nic_done):
+            before = r.clock.time
             r.clock.advance_to(done)
+            if tracer is not None and done > before:
+                tracer.emit("waitall.sends", "wait", r.index, HOST,
+                            before, done)
 
     # -- neighbourhood exchange ------------------------------------------------
 
@@ -212,17 +248,31 @@ class SimCommunicator:
         sender has finished sending it.  Self-messages are free (handled by
         on-node copies whose cost is charged elsewhere).
         """
+        tracer = active_tracer()
         send_done = {r.index: r.clock.time for r in self.ranks}
         for m in messages:
             if m.src == m.dst:
                 continue
+            t0 = send_done[m.src]
             send_done[m.src] += self.network.message_cost(m.nbytes)
+            if tracer is not None:
+                tracer.emit(f"send->{m.dst}", "comm", m.src, NET,
+                            t0, send_done[m.src], nbytes=int(m.nbytes))
         for r in self.ranks:
+            before = r.clock.time
             r.clock.advance_to(send_done[r.index])
+            if tracer is not None and send_done[r.index] > before:
+                tracer.emit("exchange.sends", "wait", r.index, HOST,
+                            before, send_done[r.index])
         for m in messages:
             if m.src == m.dst:
                 continue
-            self.ranks[m.dst].clock.advance_to(send_done[m.src])
+            dst = self.ranks[m.dst]
+            before = dst.clock.time
+            dst.clock.advance_to(send_done[m.src])
+            if tracer is not None and send_done[m.src] > before:
+                tracer.emit(f"recv<-{m.src}", "comm", m.dst, HOST,
+                            before, send_done[m.src], nbytes=int(m.nbytes))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"SimCommunicator(size={self.size}, net={self.network.name!r})"

@@ -32,6 +32,8 @@ from ..check.context import active as _check_active
 from ..check.context import seam_scope
 from ..check.errors import DeclaredAccessError
 from ..gpu.memory import DeviceArray
+from ..obs.context import active_tracer
+from ..obs.lanes import HOST
 from .batch import union_pds
 from .stats import ExecStats, attribution_report
 
@@ -241,12 +243,22 @@ class Backend(abc.ABC):
             results = [m.body() for m in members]
             return combine(results) if combine is not None else None
 
+        tracer = active_tracer()
+        device = getattr(self, "device", None)
+        clock = (device.default_stream.clock if device is not None
+                 else self.rank.clock if self.rank is not None else None)
+        t0 = clock.time if (tracer is not None and clock is not None) else 0.0
         result = self.run(kernel, total, fused_body, reads=reads,
                           writes=writes, ghost_reads=ghost_reads,
                           ghost_only=ghost_only, marks=marks)
         if len(members) > 1 and self.rank is not None:
             self.rank.exec_stats.record_batch(
                 kernel, len(members), self._batch_overhead_saved(len(members)))
+            if tracer is not None and clock is not None:
+                lane = device.default_stream.label if device is not None else HOST
+                tracer.emit(kernel, "fused", self.rank.index, lane,
+                            t0, clock.time, members=len(members),
+                            elements=total)
         return result
 
     def _batch_overhead_saved(self, n: int) -> float:

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs.lanes import canonical_lane
+
 __all__ = [
     "KernelCounter",
     "TransferCounter",
@@ -113,13 +115,13 @@ class ExecStats:
         c.seconds += seconds
 
     def record_transfer(self, direction: str, nbytes: int, seconds: float) -> None:
-        c = self.transfers.setdefault(direction, TransferCounter())
+        c = self.transfers.setdefault(canonical_lane(direction), TransferCounter())
         c.count += 1
         c.bytes += int(nbytes)
         c.seconds += seconds
 
     def record_stream(self, label: str, seconds: float) -> None:
-        c = self.streams.setdefault(label, StreamCounter())
+        c = self.streams.setdefault(canonical_lane(label), StreamCounter())
         c.ops += 1
         c.seconds += seconds
 
@@ -141,6 +143,7 @@ class ExecStats:
         event timestamps), and the total is clamped so exposed can never
         exceed the async seconds actually put on copy streams.
         """
+        lane = canonical_lane(lane)
         start = max(before, self._exposed_hwm.get(lane, 0.0))
         if after <= start:
             return

@@ -14,9 +14,12 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
+from ..obs.context import active_tracer
+from ..obs.lanes import HOST
 from ..util.clock import VirtualClock
 from .errors import DeviceOutOfMemory, MemorySpaceError
 from .kernel import KernelSpec, LaunchConfig, kernel_spec
@@ -88,6 +91,9 @@ class Device:
         #: optional repro.exec.stats.ExecStats sink shared with the owning
         #: rank; None for bare devices constructed outside a simulation
         self.exec_stats = exec_stats
+        #: rank index stamped on emitted trace spans; the owning
+        #: repro.comm rank sets this, bare devices trace as rank 0
+        self.trace_rank = 0
         self._kernel_depth = 0
         self._in_memcpy = 0
 
@@ -196,8 +202,18 @@ class Device:
             self.exec_stats.record_kernel(spec.name, elements, cost, "gpu")
             self.exec_stats.record_stream(stream.label, cost)
 
+        tracer = active_tracer()
+        if tracer is None:
+            with self._kernel_scope():
+                return fn(*args)
+        t1 = stream.clock.time
+        wall0 = perf_counter()
         with self._kernel_scope():
-            return fn(*args)
+            result = fn(*args)
+        tracer.emit(spec.name, "kernel", self.trace_rank, stream.label,
+                    t1 - cost, t1, wall0, perf_counter(),
+                    elements=max(int(elements), 0))
+        return result
 
     # -- transfers -----------------------------------------------------------
 
@@ -236,6 +252,11 @@ class Device:
         if self.exec_stats is not None:
             self.exec_stats.record_transfer("d2d", src.nbytes, cost)
             self.exec_stats.record_stream(s.label, cost)
+        tracer = active_tracer()
+        if tracer is not None:
+            t1 = s.clock.time
+            tracer.emit("memcpy_d2d", "transfer", self.trace_rank, s.label,
+                        t1 - cost, t1, nbytes=src.nbytes)
         with self._memcpy_scope():
             dst.kernel_view()[...] = src.kernel_view()
 
@@ -257,17 +278,27 @@ class Device:
             # compute, tracked for the overlap-won accounting.
             self.exec_stats.record_stream(stream.label, cost)
             self.exec_stats.overlap.async_seconds += cost
+        tracer = active_tracer()
         if stream is None:
             # Synchronous copy: host blocks until all prior work and the
             # transfer itself complete.
             t0 = max(self.host_clock.time, self.default_stream.clock.time)
             self.host_clock.advance_to(t0 + cost)
             self.default_stream.clock.advance_to(self.host_clock.time)
+            if tracer is not None and direction is not None:
+                tracer.emit(f"memcpy_{direction}", "transfer",
+                            self.trace_rank, HOST, t0, t0 + cost,
+                            nbytes=int(nbytes), sync=True)
         else:
             # Async copy: enqueued on the stream, host only pays the call.
             self.host_clock.advance(self.spec.host_launch_overhead)
             stream.clock.advance_to(self.host_clock.time)
             stream.clock.advance(cost)
+            if tracer is not None and direction is not None:
+                t1 = stream.clock.time
+                tracer.emit(f"memcpy_{direction}", "transfer",
+                            self.trace_rank, stream.label, t1 - cost, t1,
+                            nbytes=int(nbytes))
 
     def require_access(self) -> None:
         """Raise unless device memory may legally be touched right now."""

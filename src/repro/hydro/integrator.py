@@ -31,6 +31,7 @@ from ..geom.operators import (
 from ..mesh.box import Box
 from ..mesh.geometry import CartesianGridGeometry
 from ..mesh.hierarchy import PatchHierarchy
+from ..obs.context import active_tracer
 from ..regrid.load_balance import assign_owners, chop_boxes
 from ..regrid.regridder import RegridConfig, Regridder
 from ..xfer.coarsen_schedule import CoarsenSchedule, CoarsenSpec
@@ -154,11 +155,15 @@ class LagrangianEulerianIntegrator:
         try:
             yield
         finally:
+            tracer = active_tracer()
             for r, t0 in zip(self.comm.ranks, starts):
                 r.sync_device()
                 delta = r.clock.time - t0
                 r.timers.totals[name] = r.timers.totals.get(name, 0.0) + delta
                 r.timers.counts[name] = r.timers.counts.get(name, 0) + 1
+                if tracer is not None and delta > 0.0:
+                    tracer.emit(name, "phase", r.index, "phase",
+                                t0, r.clock.time)
 
     def timer_summary(self) -> dict[str, float]:
         """Per-category maxima over ranks (critical-path time)."""

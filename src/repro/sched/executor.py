@@ -27,6 +27,8 @@ from typing import TYPE_CHECKING
 
 from ..check.context import active as _check_active
 from ..gpu.stream import Event
+from ..obs.context import active_tracer
+from ..obs.lanes import HOST
 from .task import COPY_LANES, Task, TaskGraph, TaskKind
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -71,10 +73,13 @@ class GraphExecutor:
         self.order_key = order_key
         if order_key is None and overlap:
             self.order_key = overlap_order
+        #: execution counters surfaced through the metrics registry
+        self.counters = {"graphs": 0, "tasks": 0, "collectives": 0}
 
     # -- public API ------------------------------------------------------------
 
     def execute(self, graph: TaskGraph) -> None:
+        self.counters["graphs"] += 1
         for task in graph.topological_order(self.order_key):
             self._dispatch(task)
         self._drain()
@@ -85,11 +90,14 @@ class GraphExecutor:
     # -- dispatch --------------------------------------------------------------
 
     def _dispatch(self, task: Task) -> None:
+        self.counters["tasks"] += 1
         if task.rank is None:
+            self.counters["collectives"] += 1
             self._run_collective(task)
             return
         rank = self.comm.rank(task.rank)
         stream = self._stream_for(task, rank)
+        tracer = active_tracer()
         if stream is not None:
             self._wait_on_stream(task, stream, rank)
             t0 = stream.clock.time
@@ -99,10 +107,17 @@ class GraphExecutor:
             task.event = ev
             task.finish = ev.timestamp
             task.busy = max(0.0, ev.timestamp - t0)
+            if tracer is not None:
+                tracer.emit(task.label, "task", rank.index, stream.label,
+                            t0, ev.timestamp, kind=task.kind.value)
         else:
             self._wait_on_host(task, rank)
+            t0 = rank.clock.time
             task.result = self._run_body(task, None)
             task.finish = rank.clock.time
+            if tracer is not None and task.finish > t0:
+                tracer.emit(task.label, "task", rank.index, HOST,
+                            t0, task.finish, kind=task.kind.value)
 
     def _run_body(self, task: Task, stream):
         """Run ``task.fn`` inside a sanitizer access scope, if one is on."""
@@ -119,6 +134,7 @@ class GraphExecutor:
         # Each participating rank must reach its own dependencies before
         # entering the collective (the collective itself then meets the
         # clocks through the network model).
+        tracer = active_tracer()
         for dep in task.deps:
             ev = dep.event
             if ev is not None and dep.rank is not None:
@@ -128,6 +144,9 @@ class GraphExecutor:
                 if dep.lane in COPY_LANES:
                     r.exec_stats.record_exposed_wait(
                         dep.lane, before, r.clock.time, cap=dep.busy)
+                if tracer is not None and r.clock.time > before:
+                    tracer.emit(f"wait {dep.label}", "wait", r.index, HOST,
+                                before, r.clock.time, on=dep.lane)
         task.result = self._run_body(task, None)
         task.finish = max(r.clock.time for r in self.comm.ranks)
 
@@ -144,6 +163,7 @@ class GraphExecutor:
         return None
 
     def _wait_on_stream(self, task: Task, stream, rank: "Rank") -> None:
+        tracer = active_tracer()
         for dep in task.deps:
             ev = dep.event
             if ev is not None and ev.stream is not stream:
@@ -152,6 +172,10 @@ class GraphExecutor:
                 if dep.lane in COPY_LANES:
                     rank.exec_stats.record_exposed_wait(
                         dep.lane, before, stream.clock.time, cap=dep.busy)
+                if tracer is not None and stream.clock.time > before:
+                    tracer.emit(f"wait {dep.label}", "wait", rank.index,
+                                stream.label, before, stream.clock.time,
+                                on=dep.lane)
 
     def _wait_on_host(self, task: Task, rank: "Rank") -> None:
         # HOST tasks are uncharged framework bookkeeping (timestamp
@@ -160,6 +184,7 @@ class GraphExecutor:
         # dispatch only.
         if task.kind is TaskKind.HOST:
             return
+        tracer = active_tracer()
         for dep in task.deps:
             ev = dep.event
             if ev is not None:
@@ -168,12 +193,16 @@ class GraphExecutor:
                 if dep.lane in COPY_LANES:
                     rank.exec_stats.record_exposed_wait(
                         dep.lane, before, rank.clock.time, cap=dep.busy)
+                if tracer is not None and rank.clock.time > before:
+                    tracer.emit(f"wait {dep.label}", "wait", rank.index,
+                                HOST, before, rank.clock.time, on=dep.lane)
 
     # -- end-of-graph drain ----------------------------------------------------
 
     def _drain(self) -> None:
         """Join every timeline: host waits for compute, then copy engines,
         then all posted sends (``MPI_Waitall``)."""
+        tracer = active_tracer()
         for r in self.comm.ranks:
             if r.device is None:
                 continue
@@ -185,4 +214,7 @@ class GraphExecutor:
                 before = r.clock.time
                 r.clock.advance_to(s.clock.time)
                 r.exec_stats.record_exposed_wait(lane, before, r.clock.time)
+                if tracer is not None and r.clock.time > before:
+                    tracer.emit(f"drain {lane}", "wait", r.index, HOST,
+                                before, r.clock.time, on=lane)
         self.comm.wait_all_sends()

@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable
 
+from ..obs import lanes
+
 __all__ = ["TaskKind", "Task", "TaskGraph", "COMPUTE_LANE", "COPY_LANES"]
 
 
@@ -37,22 +39,22 @@ class TaskKind(str, Enum):
     HOST = "host"        # host-side framework work (frees, bookkeeping)
 
 
-COMPUTE_LANE = "compute"
+COMPUTE_LANE = lanes.COMPUTE
 #: lanes whose waits count as *exposed* transfer time in the overlap
 #: accounting: time a compute or host timeline spent blocked on a PCIe leg
-COPY_LANES = ("d2h", "h2d")
+COPY_LANES = (lanes.D2H, lanes.H2D)
 
 _LANES = {
     TaskKind.KERNEL: COMPUTE_LANE,
     TaskKind.COPY: COMPUTE_LANE,
     TaskKind.PACK: COMPUTE_LANE,
     TaskKind.UNPACK: COMPUTE_LANE,
-    TaskKind.D2H: "d2h",
-    TaskKind.H2D: "h2d",
-    TaskKind.SEND: "net",
-    TaskKind.RECV: "host",
-    TaskKind.REDUCE: "host",
-    TaskKind.HOST: "host",
+    TaskKind.D2H: lanes.D2H,
+    TaskKind.H2D: lanes.H2D,
+    TaskKind.SEND: lanes.NET,
+    TaskKind.RECV: lanes.HOST,
+    TaskKind.REDUCE: lanes.HOST,
+    TaskKind.HOST: lanes.HOST,
 }
 
 

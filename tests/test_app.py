@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.app import RunConfig, RunResult, build_simulation, run_simulation, scaled
+from repro.api import RunConfig, RunResult, build_simulation, run, scaled
 from repro.hydro.patch_integrator import NonResidentGpuPatchIntegrator
 from repro.hydro.problems import SodProblem
 
@@ -39,7 +39,7 @@ class TestBuild:
 
 class TestRun:
     def test_run_produces_measurements(self):
-        res = run_simulation(small())
+        res = run(small())
         assert isinstance(res, RunResult)
         assert res.steps == 3
         assert res.runtime > 0
@@ -48,20 +48,20 @@ class TestRun:
         assert res.timers["hydro"] > 0
 
     def test_end_time_budget(self):
-        res = run_simulation(small(max_steps=None, end_time=0.02))
+        res = run(small(max_steps=None, end_time=0.02))
         assert res.sim.time >= 0.02
 
     def test_nonresident_slower_than_resident(self):
         """The headline ablation: copy-per-kernel loses to resident."""
-        res_resident = run_simulation(small(use_gpu=True, resident=True,
+        res_resident = run(small(use_gpu=True, resident=True,
                                             max_steps=5))
-        res_copying = run_simulation(small(use_gpu=True, resident=False,
+        res_copying = run(small(use_gpu=True, resident=False,
                                            max_steps=5))
         assert res_copying.runtime > res_resident.runtime
 
     def test_nonresident_moves_far_more_pcie_bytes(self):
-        res_r = run_simulation(small(use_gpu=True, resident=True, max_steps=5))
-        res_n = run_simulation(small(use_gpu=True, resident=False, max_steps=5))
+        res_r = run(small(use_gpu=True, resident=True, max_steps=5))
+        res_n = run(small(use_gpu=True, resident=False, max_steps=5))
         def pcie(res):
             d = res.sim.comm.rank(0).device.stats
             return d.bytes_d2h + d.bytes_h2d

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.app import RunConfig, run_simulation
+from repro.api import RunConfig, run
 from repro.hydro.diagnostics import gather_level_field, host_interior
 from repro.hydro.problems import SodProblem
 
@@ -36,7 +36,7 @@ def _run(use_gpu: bool, use_scheduler: bool = False, overlap: bool = False,
         overlap=overlap,
         batch_launches=batch,
     )
-    return run_simulation(cfg)
+    return run(cfg)
 
 
 @pytest.fixture(scope="module")

@@ -13,7 +13,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.app import RunConfig, build_simulation, run_simulation
+from repro.api import RunConfig, build_simulation, run
 from repro.check import (
     DeclaredAccessError,
     RaceError,
@@ -265,7 +265,7 @@ def test_lint_flags_seeded_violations(tmp_path, capsys):
 @pytest.fixture(scope="module")
 def plain_run():
     """Scheduler+overlap run without sanitize: the bit-for-bit baseline."""
-    res = run_simulation(_config(use_scheduler=True, overlap=True))
+    res = run(_config(use_scheduler=True, overlap=True))
     return res.steps, _fields(res.sim)
 
 
@@ -328,10 +328,10 @@ def test_sanitize_batched_run_is_clean_and_identical():
     """``--batch --sanitize`` stays clean under both drivers: fused
     launches declare the union of their members' operands, so the checker
     sees every access — and observing changes no bits."""
-    plain = run_simulation(_config())
+    plain = run(_config())
     want = _fields(plain.sim)
     for extra in ({}, {"use_scheduler": True}):
-        sane = run_simulation(_config(batch_launches=True, sanitize=True,
+        sane = run(_config(batch_launches=True, sanitize=True,
                                       **extra))
         assert sane.steps == plain.steps
         assert sane.sanitize_counters is not None
@@ -345,8 +345,8 @@ def test_sanitize_batched_run_is_clean_and_identical():
 
 
 def test_sanitize_end_to_end_run_is_clean_and_identical():
-    plain = run_simulation(_config(use_scheduler=True, overlap=True))
-    sane = run_simulation(_config(use_scheduler=True, overlap=True,
+    plain = run(_config(use_scheduler=True, overlap=True))
+    sane = run(_config(use_scheduler=True, overlap=True,
                                   sanitize=True))
     assert sane.sanitize_counters is not None
     assert sane.sanitize_counters["tasks"] > 0

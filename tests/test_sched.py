@@ -15,7 +15,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.app import RunConfig, build_simulation, run_simulation
+from repro.api import RunConfig, build_simulation, run
 from repro.exec.stats import ExecStats, combined_stats
 from repro.gpu.device import K20X, Device
 from repro.gpu.stream import Event
@@ -52,7 +52,7 @@ def _fields(sim):
 @pytest.fixture(scope="module")
 def serial_run():
     """The legacy (non-scheduler) path: the bitwise ground truth."""
-    res = run_simulation(_config())
+    res = run(_config())
     return res.steps, _fields(res.sim)
 
 
@@ -82,7 +82,7 @@ def test_any_topological_order_is_bitwise_identical(serial_run, seed):
 
 def test_overlap_mode_is_bitwise_identical(serial_run):
     steps, want = serial_run
-    res = run_simulation(_config(overlap=True))
+    res = run(_config(overlap=True))
     assert res.steps == steps
     got = _fields(res.sim)
     for key in want:
@@ -94,7 +94,7 @@ def test_overlap_mode_is_bitwise_identical(serial_run):
 
 def test_overlap_accounting_is_sane(serial_run):
     steps, _ = serial_run
-    res = run_simulation(_config(overlap=True))
+    res = run(_config(overlap=True))
     stats = combined_stats(r.exec_stats for r in res.sim.comm.ranks)
     o = stats.overlap
     assert o.async_seconds > 0.0
