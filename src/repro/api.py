@@ -92,11 +92,19 @@ class RunConfig:
     batch_launches: bool = False   # arena-pooled storage + fused launches
                                    # (one launch per level, not per patch);
                                    # changes time, not bits
+    kernels: str | None = None     # "patch" | "slab" | None (auto: "slab"
+                                   # when batch_launches, else "patch");
+                                   # slab runs eligible fused launches as
+                                   # one whole-slab NumPy op — host
+                                   # wall-clock only, identical bits
     observability: ObservabilityConfig = field(
         default_factory=ObservabilityConfig)
     checkpoint_path: str | None = None  # write a restart .npz at the end
 
     def simulation_config(self) -> SimulationConfig:
+        kernels = self.kernels
+        if kernels is None:
+            kernels = "slab" if self.batch_launches else "patch"
         return SimulationConfig(
             max_levels=self.max_levels,
             refinement_ratio=self.refinement_ratio,
@@ -107,6 +115,7 @@ class RunConfig:
             overlap=self.overlap,
             sanitize=self.sanitize,
             batch_launches=self.batch_launches,
+            kernels=kernels,
         )
 
 
@@ -119,6 +128,11 @@ class RunResult:
     steps: int
     cells: int
     timers: dict[str, float]
+    #: real host seconds for the whole run (init + step loop)
+    wall_seconds: float = 0.0
+    #: real host seconds for the step loop only — the number
+    #: ``--kernels slab`` improves
+    step_wall_seconds: float = 0.0
     #: conserved-quantity summary of the final hierarchy (mass, ie, ke, …)
     final_fields: dict[str, float] = field(default_factory=dict)
     #: the global dt of every step taken, in order
@@ -182,9 +196,13 @@ def run(cfg: RunConfig) -> RunResult:
         tracer = Tracer(sinks)
         activate_tracer(tracer)
 
+    import time as _time
+
     checker = None
     dt_history: list[float] = []
     metrics_history: list[tuple[int, dict]] = []
+    wall0 = _time.perf_counter()
+    step_wall0 = wall0
     try:
         if cfg.sanitize:
             checker = SanitizeChecker()
@@ -192,6 +210,7 @@ def run(cfg: RunConfig) -> RunResult:
         try:
             sim.initialise()
             start = sim.elapsed()
+            step_wall0 = _time.perf_counter()
             while True:
                 if cfg.max_steps is not None and sim.step_count >= cfg.max_steps:
                     break
@@ -210,6 +229,7 @@ def run(cfg: RunConfig) -> RunResult:
         if tracer is not None:
             deactivate_tracer()
             tracer.close()
+    wall1 = _time.perf_counter()
 
     counters = None
     if checker is not None:
@@ -234,6 +254,8 @@ def run(cfg: RunConfig) -> RunResult:
         steps=sim.step_count,
         cells=sim.total_cells(),
         timers=sim.timer_summary(),
+        wall_seconds=wall1 - wall0,
+        step_wall_seconds=wall1 - step_wall0,
         final_fields={k: float(v) for k, v in field_summary(sim.hierarchy).items()},
         dt_history=dt_history,
         metrics=manifest,

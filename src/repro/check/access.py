@@ -272,6 +272,36 @@ class SanitizeChecker:
             scope.handouts[key] = (pd, _crc(arr), arr)
         return arr
 
+    def on_slab_handout(self, pds, arr: np.ndarray) -> np.ndarray:
+        """Instrument a whole-slab stacked handout (``--kernels slab``).
+
+        ``arr`` stacks the ``pds``' frames on axis 0; the group is the
+        slab twin of per-patch handouts, so its declared role must be
+        uniform — all of the scope's reads get one read-only view, all
+        writes get the live array.  A mixed or undeclared group cannot
+        happen through the slab planner (it checks roles before launch),
+        so it raises here as an invariant backstop rather than falling
+        back to checksums.
+        """
+        scope = self._scope
+        if scope is None:
+            return arr
+        keys = [id(pd) for pd in pds]
+        if all(key in scope.writes for key in keys):
+            for pd, key in zip(pds, keys):
+                scope.handouts.setdefault(key, (pd, None, None))
+            return arr
+        if all(key in scope.reads for key in keys):
+            for pd, key in zip(pds, keys):
+                scope.handouts.setdefault(key, (pd, None, None))
+            view = arr.view()
+            view.flags.writeable = False
+            return view
+        raise DeclaredAccessError(
+            f"mixed or undeclared slab handout in kernel {scope.label!r}: "
+            f"every member of a stacked operand must share one declared "
+            f"role (all reads or all writes)")
+
     # -- happens-before replay --------------------------------------------------
 
     def check_graph(self, graph) -> None:

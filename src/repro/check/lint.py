@@ -20,6 +20,11 @@ dynamic checker can only observe at runtime:
 * **api** — code outside the ``repro`` package (benchmarks, examples,
   drivers) must import the public facade :mod:`repro.api`, not the
   deprecated :mod:`repro.app` shim.
+* **slab** — kernel dispatch inside a per-patch ``for patch in level:``
+  loop defeats whole-slab execution (``--kernels slab`` runs one
+  vectorized op per fused level group); new dispatch sites should emit
+  batch members and let ``run_batched`` fuse them.  Reference-path loops
+  (kept for bitwise comparison) carry a waiver.
 
 A violating line can be waived with a ``# samrcheck: ok`` comment, which
 is itself greppable.  Exit status is the number of violations (0 = clean).
@@ -48,6 +53,13 @@ _SEAM_CALLS = frozenset({
 _DEVICE_NAMES = frozenset({"DeviceArray"})
 _DEVICE_CALLS = frozenset({"kernel_view"})
 _KERNEL_PREFIXES = ("hydro.", "pdat.", "geom.", "regrid.")
+#: method calls that dispatch (or collect) kernel work — finding one
+#: inside a per-patch loop marks the loop as a per-patch dispatch site
+_DISPATCH_CALLS = frozenset({
+    "run", "run_batched", "calc_dt", "ideal_gas", "viscosity", "pdv",
+    "accelerate", "flux_calc", "advec_cell", "advec_mom", "reset_field",
+    "apply", "apply_weighted",
+})
 
 WAIVER = "samrcheck: ok"
 
@@ -111,6 +123,39 @@ class _Linter(ast.NodeVisitor):
             self._flag(node, "device",
                        f"raw device memory ({node.id}) outside the gpu "
                        "runtime and the backend seam")
+        self.generic_visit(node)
+
+    # -- slab rule -------------------------------------------------------------
+
+    @staticmethod
+    def _is_level_iter(node) -> bool:
+        """Does this ``for`` iterate over a patch level?"""
+        if isinstance(node, ast.Name):
+            return "level" in node.id.lower()
+        if isinstance(node, ast.Attribute):
+            return ("level" in node.attr.lower()
+                    or _Linter._is_level_iter(node.value))
+        if isinstance(node, ast.Call):
+            f = node.func
+            if isinstance(f, ast.Attribute) and f.attr == "local_patches":
+                return True
+            return _Linter._is_level_iter(f)
+        return False
+
+    def visit_For(self, node: ast.For):
+        target_is_patch = (isinstance(node.target, ast.Name)
+                           and "patch" in node.target.id.lower())
+        if target_is_patch or self._is_level_iter(node.iter):
+            for sub in ast.walk(node):
+                if (isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr in _DISPATCH_CALLS):
+                    self._flag(node, "slab",
+                               f"per-patch kernel dispatch "
+                               f"('.{sub.func.attr}()' inside a patch loop) "
+                               "defeats whole-slab execution — emit batch "
+                               "members and fuse with run_batched")
+                    break
         self.generic_visit(node)
 
     # -- api rule --------------------------------------------------------------

@@ -54,6 +54,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "out in pooled arenas and fuse same-kernel per-patch "
                         "launches into one launch per level (bitwise "
                         "identical; changes modelled time only)")
+    p.add_argument("--kernels", choices=["patch", "slab"], default=None,
+                   help="how fused launches execute (default: slab when "
+                        "--batch is on): 'slab' runs eligible fused groups "
+                        "as one vectorized NumPy op over the whole arena "
+                        "slab — real wall-clock drops, bits and modelled "
+                        "time are unchanged; 'patch' replays per-patch "
+                        "bodies (the reference path)")
     p.add_argument("--sanitize", action="store_true",
                    help="run with the samrcheck sanitizer: verify declared "
                         "accesses, replay the DAG's happens-before relation, "
@@ -104,6 +111,7 @@ def main(argv=None) -> int:
         overlap=args.overlap,
         sanitize=args.sanitize,
         batch_launches=args.batch,
+        kernels=args.kernels,
         observability=ObservabilityConfig(
             trace_path=args.trace,
             metrics_interval=args.metrics_interval,
@@ -116,6 +124,8 @@ def main(argv=None) -> int:
             ", task-graph scheduler" + (" + overlap" if cfg.overlap else ""))
     if cfg.batch_launches:
         mode += ", batched launches"
+        mode += (" (slab kernels)" if cfg.kernels in (None, "slab")
+                 else " (patch kernels)")
     if cfg.sanitize:
         mode += ", sanitize"
     print(f"running {args.problem} on {args.nodes} {machine} node(s), "

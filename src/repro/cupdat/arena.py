@@ -31,6 +31,7 @@ class DeviceArena:
         self.device = device
         self.slab = DeviceArray(device, (int(total_elements),), dtype=dtype)
         self.offsets: list[int] = []
+        self.shapes: list[tuple[int, ...]] = []
         self._used = 0
         self._live = 0
 
@@ -40,8 +41,9 @@ class DeviceArena:
         if self._used + n > self.slab.size:
             raise ValueError(
                 f"arena overflow: {self._used} + {n} > {self.slab.size}")
-        s = ArenaSlice(self, self._used, shape)
+        s = ArenaSlice(self, self._used, shape, index=len(self.offsets))
         self.offsets.append(self._used)
+        self.shapes.append(tuple(int(x) for x in shape))
         self._used += n
         self._live += 1
         return s
@@ -50,6 +52,41 @@ class DeviceArena:
         self._live -= 1
         if self._live == 0:
             self.slab.free()
+
+    # -- whole-slab access (--kernels slab) ------------------------------------
+
+    @property
+    def member_count(self) -> int:
+        return len(self.offsets)
+
+    @property
+    def uniform(self) -> bool:
+        """True when every placed member has the same frame shape, so the
+        slab admits a stacked (P, f0, f1) kernel view.  Ragged levels fall
+        back to the per-patch path."""
+        return bool(self.shapes) and all(s == self.shapes[0]
+                                         for s in self.shapes[1:])
+
+    def stacked_view(self) -> np.ndarray:
+        """The whole slab as one (P, f0, f1) kernel view, members on
+        axis 0.  Legal only inside a launch or memcpy scope on the owning
+        device, exactly like :meth:`ArenaSlice.kernel_view`."""
+        if not self.uniform:
+            raise ValueError("stacked view needs a uniform arena")
+        shape = self.shapes[0]
+        n = self.member_count
+        flat = self.slab.kernel_view()
+        return flat[:n * math.prod(shape)].reshape((n,) + shape)
+
+    def interior_mask(self, ghosts: int) -> np.ndarray:
+        """Boolean (P, f0, f1) host mask, True on each member's interior."""
+        if not self.uniform:
+            raise ValueError("interior mask needs a uniform arena")
+        shape = self.shapes[0]
+        mask = np.zeros((self.member_count,) + shape, dtype=bool)
+        g = int(ghosts)
+        mask[:, g:mask.shape[1] - g, g:mask.shape[2] - g] = True
+        return mask
 
 
 class ArenaSlice:
@@ -61,15 +98,17 @@ class ArenaSlice:
     """
 
     __slots__ = ("arena", "offset", "shape", "dtype", "nbytes", "size",
-                 "_freed")
+                 "index", "_freed")
 
-    def __init__(self, arena: DeviceArena, offset: int, shape):
+    def __init__(self, arena: DeviceArena, offset: int, shape, index: int = 0):
         self.arena = arena
         self.offset = int(offset)
         self.shape = tuple(int(s) for s in shape)
         self.dtype = arena.slab.dtype
         self.size = math.prod(self.shape)
         self.nbytes = self.size * self.dtype.itemsize
+        #: position of this member on the stacked view's leading axis
+        self.index = int(index)
         self._freed = False
 
     @property

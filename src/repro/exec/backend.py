@@ -24,6 +24,7 @@ the framework.
 from __future__ import annotations
 
 import abc
+from time import perf_counter as _perf_counter
 from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
@@ -34,7 +35,7 @@ from ..check.errors import DeclaredAccessError
 from ..gpu.memory import DeviceArray
 from ..obs.context import active_tracer
 from ..obs.lanes import HOST
-from .batch import union_pds
+from .batch import SlabSpec, union_pds
 from .stats import ExecStats, attribution_report
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -223,6 +224,15 @@ class Backend(abc.ABC):
         non-resident ablation moves each operand once, and the sanitizer
         still sees every operand.  ``combine`` reduces the members' return
         values inside the launch (the CFL min); the result is returned.
+
+        When every member carries a matching :class:`SlabSpec`
+        (``--kernels slab``), the launch instead executes as one
+        vectorized NumPy op over the whole stacked arena slab — same
+        kernel name, element total, declarations and modelled cost, so
+        only host wall-clock changes; the fused CFL min reduces over the
+        stacked axis, which selects the exact same scalar.  Slab-marked
+        groups that fail eligibility replay their bodies and are counted
+        as ``slab_fallback``.
         """
         members = list(members)
         if not members:
@@ -238,8 +248,11 @@ class Backend(abc.ABC):
         ghost_reads = union_pds(m.ghost_reads for m in members)
         marks = [mk for m in members for mk in m.marks]
         total = sum(m.elements for m in members)
+        slab_body = self._slab_plan(members)
 
         def fused_body():
+            if slab_body is not None:
+                return slab_body()
             results = [m.body() for m in members]
             return combine(results) if combine is not None else None
 
@@ -248,18 +261,90 @@ class Backend(abc.ABC):
         clock = (device.default_stream.clock if device is not None
                  else self.rank.clock if self.rank is not None else None)
         t0 = clock.time if (tracer is not None and clock is not None) else 0.0
+        w0 = _perf_counter()
         result = self.run(kernel, total, fused_body, reads=reads,
                           writes=writes, ghost_reads=ghost_reads,
                           ghost_only=ghost_only, marks=marks)
+        host_seconds = _perf_counter() - w0
         if len(members) > 1 and self.rank is not None:
             self.rank.exec_stats.record_batch(
-                kernel, len(members), self._batch_overhead_saved(len(members)))
+                kernel, len(members), self._batch_overhead_saved(len(members)),
+                host_seconds=host_seconds)
+            if any(m.slab is not None for m in members):
+                self.rank.exec_stats.record_slab(
+                    kernel, fused=slab_body is not None)
             if tracer is not None and clock is not None:
                 lane = device.default_stream.label if device is not None else HOST
                 tracer.emit(kernel, "fused", self.rank.index, lane,
                             t0, clock.time, members=len(members),
-                            elements=total)
+                            elements=total, slab=slab_body is not None)
         return result
+
+    def _slab_plan(self, members):
+        """A zero-arg callable running a fused group as one whole-slab
+        stacked NumPy op, or None when the group must replay per-patch
+        bodies.
+
+        Eligibility (all checked before launch, so the fallback never
+        half-executes): every member carries a :class:`SlabSpec` with the
+        same key and operand count; each operand position's patch data
+        tiles exactly one uniform arena in stacked order 0..P-1 covering
+        the whole arena; and each position is declared with one role
+        (all reads or all writes) so the sanitizer can instrument the
+        stacked handout like the per-patch ones.
+        """
+        spec0 = members[0].slab
+        if not isinstance(spec0, SlabSpec):
+            return None
+        n = len(members)
+        nops = len(spec0.operands)
+        specs = []
+        for m in members:
+            s = m.slab
+            if (not isinstance(s, SlabSpec) or s.key != spec0.key
+                    or len(s.operands) != nops):
+                return None
+            specs.append(s)
+        write_ids = [set(map(id, m.writes)) for m in members]
+        read_ids = [set(map(id, m.reads)) for m in members]
+        arenas = []
+        writable = []
+        for j in range(nops):
+            arena = getattr(spec0.operands[j], "_arena", None)
+            if arena is None or not arena.uniform or arena.member_count != n:
+                return None
+            role = None
+            for i, s in enumerate(specs):
+                pd = s.operands[j]
+                if (getattr(pd, "_arena", None) is not arena
+                        or getattr(pd, "_arena_index", None) != i):
+                    return None
+                if id(pd) in write_ids[i]:
+                    r = "write"
+                elif id(pd) in read_ids[i]:
+                    r = "read"
+                else:
+                    return None
+                if role is None:
+                    role = r
+                elif role != r:
+                    return None
+            arenas.append(arena)
+            writable.append(role == "write")
+        pds_by_op = [tuple(s.operands[j] for s in specs) for j in range(nops)]
+        fn = spec0.fn
+
+        def slab_body():
+            chk = _check_active()
+            args = []
+            for j, arena in enumerate(arenas):
+                stacked = arena.stacked_view()
+                if chk is not None:
+                    stacked = chk.on_slab_handout(pds_by_op[j], stacked)
+                args.append(stacked)
+            return fn(*args)
+
+        return slab_body
 
     def _batch_overhead_saved(self, n: int) -> float:
         """Modelled fixed per-launch cost avoided by fusing ``n`` launches."""

@@ -25,22 +25,59 @@ readback fills the slot, replacing the per-patch readback chain.
 
 from __future__ import annotations
 
-__all__ = ["BatchMember", "BatchSlot", "LaunchBatcher", "union_pds"]
+__all__ = ["BatchMember", "BatchSlot", "LaunchBatcher", "SlabSpec",
+           "SLAB_FALLBACK", "union_pds"]
+
+#: sentinel ``BatchMember.slab`` value: the dispatch site runs under
+#: ``--kernels slab`` but this work is inherently per-patch (ragged halo
+#: bodies, per-region interpolation temps) — the fused launch replays
+#: member bodies and the launch is counted as ``slab_fallback``.
+SLAB_FALLBACK = "fallback"
+
+
+class SlabSpec:
+    """How one member's kernel runs as part of a whole-slab stacked op.
+
+    A fused group is *slab-eligible* when every member carries a spec
+    with the same ``key`` (kernel identity plus every scalar argument)
+    and, for each operand position, the members' patch-data objects tile
+    exactly one uniform arena in stacked order 0..P-1.  The group then
+    executes as ``fn(*stacked)`` — one vectorized NumPy op over the
+    whole (P, f0, f1) arena slab per operand — instead of P per-patch
+    bodies.  Groups failing any condition replay bodies as before and
+    are counted as ``slab_fallback``.
+    """
+
+    __slots__ = ("key", "fn", "operands")
+
+    def __init__(self, key, fn, operands):
+        #: hashable identity: equal keys mean ``fn`` closures are
+        #: interchangeable across members
+        self.key = key
+        #: ``fn(*stacked_arrays)`` in operand order; returns the group's
+        #: reduced scalar for reduction kernels, else None
+        self.fn = fn
+        #: patch-data operands in ``fn`` argument order
+        self.operands = tuple(operands)
 
 
 class BatchMember:
     """One per-patch kernel invocation, deferred for fusion."""
 
-    __slots__ = ("elements", "body", "reads", "writes", "ghost_reads", "marks")
+    __slots__ = ("elements", "body", "reads", "writes", "ghost_reads",
+                 "marks", "slab")
 
     def __init__(self, elements: int, body, reads=(), writes=(),
-                 ghost_reads=(), marks=()):
+                 ghost_reads=(), marks=(), slab=None):
         self.elements = int(elements)
         self.body = body
         self.reads = tuple(reads)
         self.writes = tuple(writes)
         self.ghost_reads = tuple(ghost_reads)
         self.marks = tuple(marks)
+        #: None (per-patch mode), a :class:`SlabSpec`, or
+        #: :data:`SLAB_FALLBACK`
+        self.slab = slab
 
 
 def union_pds(groups) -> tuple:

@@ -20,6 +20,7 @@ __all__ = [
     "StreamCounter",
     "OverlapCounter",
     "BatchCounter",
+    "SlabCounter",
     "ExecStats",
     "combined_stats",
     "kernel_category",
@@ -61,11 +62,30 @@ class BatchCounter:
     per-patch kernels they covered, and ``overhead_saved_seconds`` the
     modelled fixed per-launch cost the fusion avoided —
     ``(members - launches) ×`` the resource's launch overhead.
+    ``host_seconds`` is real host wall-clock (``perf_counter``) spent
+    executing the fused launches — the number ``--kernels slab``
+    improves; modelled time lives in :class:`KernelCounter`.
     """
 
     launches: int = 0
     members: int = 0
     overhead_saved_seconds: float = 0.0
+    host_seconds: float = 0.0
+
+
+@dataclass
+class SlabCounter:
+    """Accounting for whole-slab execution of one kernel (``--kernels slab``).
+
+    ``fused`` counts fused launches that executed as a single stacked
+    NumPy op over the arena slab; ``fallback`` counts slab-requested
+    launches that had to replay per-patch bodies (ragged patch sizes,
+    mismatched scalar arguments, non-arena operands, or inherently
+    per-patch work such as halo exchange and interpolation).
+    """
+
+    fused: int = 0
+    fallback: int = 0
 
 
 @dataclass
@@ -99,6 +119,7 @@ class ExecStats:
         self.transfers: dict[str, TransferCounter] = {}
         self.streams: dict[str, StreamCounter] = {}
         self.batches: dict[str, BatchCounter] = {}
+        self.slab: dict[str, SlabCounter] = {}
         self.overlap = OverlapCounter()
         #: per copy-lane high-water mark of virtual time already charged as
         #: exposed, so overlapping waits (an event wait and the later
@@ -126,11 +147,20 @@ class ExecStats:
         c.seconds += seconds
 
     def record_batch(self, name: str, members: int,
-                     overhead_saved_seconds: float) -> None:
+                     overhead_saved_seconds: float,
+                     host_seconds: float = 0.0) -> None:
         c = self.batches.setdefault(name, BatchCounter())
         c.launches += 1
         c.members += int(members)
         c.overhead_saved_seconds += overhead_saved_seconds
+        c.host_seconds += host_seconds
+
+    def record_slab(self, name: str, fused: bool) -> None:
+        c = self.slab.setdefault(name, SlabCounter())
+        if fused:
+            c.fused += 1
+        else:
+            c.fallback += 1
 
     def record_exposed_wait(self, lane: str, before: float, after: float,
                             cap: float | None = None) -> None:
@@ -160,6 +190,7 @@ class ExecStats:
         self.transfers.clear()
         self.streams.clear()
         self.batches.clear()
+        self.slab.clear()
         self.overlap = OverlapCounter()
         self._exposed_hwm.clear()
 
@@ -185,6 +216,11 @@ class ExecStats:
             mine.launches += c.launches
             mine.members += c.members
             mine.overhead_saved_seconds += c.overhead_saved_seconds
+            mine.host_seconds += c.host_seconds
+        for key, c in other.slab.items():
+            mine = self.slab.setdefault(key, SlabCounter())
+            mine.fused += c.fused
+            mine.fallback += c.fallback
         self.overlap.async_seconds += other.overlap.async_seconds
         self.overlap.exposed_seconds += other.overlap.exposed_seconds
 
@@ -292,13 +328,14 @@ def attribution_report(stats: ExecStats,
         brows = [
             [name, str(c.launches), str(c.members),
              f"{c.members / c.launches:.1f}",
-             f"{c.overhead_saved_seconds:.6f}"]
+             f"{c.overhead_saved_seconds:.6f}", f"{c.host_seconds:.4f}"]
             for name, c in sorted(stats.batches.items())
         ]
         lines.append("")
         lines += _table("fused launches (--batch)",
                         ["kernel", "launches", "members",
-                         "patches_per_launch", "launch_overhead_saved s"],
+                         "patches_per_launch", "launch_overhead_saved s",
+                         "host wall s"],
                         brows)
         launches = sum(c.launches for c in stats.batches.values())
         members = sum(c.members for c in stats.batches.values())
@@ -307,6 +344,20 @@ def attribution_report(stats: ExecStats,
             f"launch fusion   : launches {launches} covering {members} "
             f"member kernels  patches_per_launch {members / launches:.1f}  "
             f"launch_overhead_saved {saved:.6f}s")
+
+    if stats.slab:
+        srows = [
+            [name, str(c.fused), str(c.fallback)]
+            for name, c in sorted(stats.slab.items())
+        ]
+        lines.append("")
+        lines += _table("slab execution (--kernels slab)",
+                        ["kernel", "fused", "fallback"], srows)
+        fused = sum(c.fused for c in stats.slab.values())
+        fallback = sum(c.fallback for c in stats.slab.values())
+        lines.append(
+            f"slab execution  : {fused} fused whole-slab launches, "
+            f"{fallback} per-patch fallbacks")
 
     by_cat: dict[str, float] = {}
     for (_, name), c in stats.kernels.items():

@@ -26,6 +26,14 @@ face of cell f; node n is the lower corner of cell n.
 offsets (i0, j0); every kernel states its stencil through these windows, so
 a stencil reaching outside allocated ghosts fails loudly with an index
 error instead of silently reading garbage.
+
+Windows index the *trailing two axes*, so every kernel here is
+slab-polymorphic: handed stacked arrays of shape ``(P, f0, f1)`` — one
+whole-arena view covering P same-shaped patches (``--kernels slab``) —
+the same code runs one vectorized NumPy op over all P patches at once.
+All per-element arithmetic is elementwise IEEE (the only reduction,
+``calc_dt``'s min, is an exact selection), so the stacked results are
+bitwise identical to P per-patch invocations.
 """
 
 from __future__ import annotations
@@ -42,12 +50,17 @@ G_BIG = 1.0e21
 
 
 def win(arr: np.ndarray, i0: int, j0: int, n0: int, n1: int) -> np.ndarray:
-    """Window of shape (n0, n1) at offsets (i0, j0); bounds-checked."""
-    if i0 < 0 or j0 < 0 or i0 + n0 > arr.shape[0] or j0 + n1 > arr.shape[1]:
+    """Window of shape (..., n0, n1) at offsets (i0, j0); bounds-checked.
+
+    Indexes the trailing two axes, so a 2-D patch frame yields the classic
+    (n0, n1) window while a stacked (P, f0, f1) slab yields a (P, n0, n1)
+    window covering every patch at once.
+    """
+    if i0 < 0 or j0 < 0 or i0 + n0 > arr.shape[-2] or j0 + n1 > arr.shape[-1]:
         raise IndexError(
             f"window ({i0}:{i0+n0}, {j0}:{j0+n1}) outside array {arr.shape}"
         )
-    return arr[i0:i0 + n0, j0:j0 + n1]
+    return arr[..., i0:i0 + n0, j0:j0 + n1]
 
 
 # ---------------------------------------------------------------------------
@@ -258,7 +271,7 @@ def _gather(field, base0, base1, n0, n1, off_arr, axis):
     select over the handful of distinct offsets — the data-parallel
     equivalent of the Fortran donor/upwind index arithmetic.
     """
-    out = np.empty((n0, n1), dtype=np.float64)
+    out = np.empty(off_arr.shape, dtype=np.float64)
     for off in np.unique(off_arr):
         o = int(off)
         v = win(field, base0 + (o if axis == 0 else 0),

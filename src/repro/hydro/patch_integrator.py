@@ -45,6 +45,12 @@ class CleverleafPatchIntegrator:
     #: ``_run`` then returns None (or a BatchSlot for reduction kernels)
     batch_sink = None
 
+    #: ``--kernels slab``: attach a :class:`repro.exec.batch.SlabSpec` to
+    #: every collected launch so eligible fused groups execute as one
+    #: stacked NumPy op over the whole arena slab instead of a per-patch
+    #: body loop
+    slab_mode = False
+
     def __init__(self, gamma: float = 1.4):
         self.gamma = gamma
 
@@ -57,9 +63,22 @@ class CleverleafPatchIntegrator:
     def _arrs(self, patch: "Patch", names: Iterable[str]) -> dict[str, np.ndarray]:
         return {n: array_of(patch.data(n)) for n in names}
 
+    def _slab(self, patch: "Patch", names: Iterable[str], key, fn):
+        """A :class:`SlabSpec` for this launch under ``--kernels slab``.
+
+        ``key`` is the kernel tag plus *every* scalar argument (including
+        the patch shape, so ragged levels key-mismatch into the fallback
+        path); ``fn`` takes the stacked arena arrays in ``names`` order.
+        Returns None in per-patch mode.
+        """
+        if not self.slab_mode:
+            return None
+        from ..exec.batch import SlabSpec
+        return SlabSpec(key, fn, tuple(patch.data(n) for n in names))
+
     def _run(self, patch: "Patch", rank: "Rank", kernel: str, elements: int,
              body, reads=(), writes=(), ghost_reads=(), ghost_propagate=None,
-             combine=None):
+             combine=None, slab=None):
         """Dispatch one kernel with its declared accesses.
 
         ``ghost_reads`` names the operands whose ghost regions the stencil
@@ -68,7 +87,8 @@ class CleverleafPatchIntegrator:
         its out-of-interior values are *derived from* (EOS over the frame),
         so the written field inherits their halo stamps.  ``combine``
         reduces per-patch kernel results when launches are fused
-        (``--batch``): the CFL min.
+        (``--batch``): the CFL min.  ``slab`` carries the launch's
+        :class:`SlabSpec` under ``--kernels slab``.
         """
         backend = self._backend(patch, rank)
         read_pds = [patch.data(n) for n in reads]
@@ -79,10 +99,13 @@ class CleverleafPatchIntegrator:
             for dst, srcs in ghost_propagate.items():
                 marks.append(("propagate", patch.data(dst),
                               [patch.data(s) for s in srcs]))
+        if slab is None and self.slab_mode:
+            from ..exec.batch import SLAB_FALLBACK
+            slab = SLAB_FALLBACK
         if self.batch_sink is not None:
             from ..exec.batch import BatchMember
             member = BatchMember(elements, body, read_pds, write_pds,
-                                 ghost_pds, marks)
+                                 ghost_pds, marks, slab=slab)
             return self.batch_sink.collect(
                 backend, kernel, member,
                 level=patch.level.level_number, combine=combine)
@@ -90,7 +113,7 @@ class CleverleafPatchIntegrator:
             return self.task_sink.kernel_task(
                 backend, rank, kernel, elements, body, read_pds, write_pds,
                 ghost_reads=ghost_pds, marks=marks,
-                level=patch.level.level_number, combine=combine)
+                level=patch.level.level_number, combine=combine, slab=slab)
         return backend.run(kernel, elements, body,
                            reads=read_pds, writes=write_pds,
                            ghost_reads=ghost_pds, marks=marks)
@@ -149,13 +172,19 @@ class CleverleafPatchIntegrator:
             K.ideal_gas(a[dname], a[ename], a["pressure"], a["soundspeed"],
                         nx, ny, g, self.gamma, ext)
 
+        def slab_fn(d, e, p, ss):
+            K.ideal_gas(d, e, p, ss, nx, ny, g, self.gamma, ext)
+
         self._run(patch, rank, "hydro.ideal_gas",
                   (nx + 2 * ext) * (ny + 2 * ext), body,
                   reads=(dname, ename), writes=("pressure", "soundspeed"),
                   ghost_reads=(dname, ename) if ext > 0 else (),
                   ghost_propagate={"pressure": (dname, ename),
                                    "soundspeed": (dname, ename)}
-                  if ext > 0 else None)
+                  if ext > 0 else None,
+                  slab=self._slab(patch, names,
+                                  ("ideal_gas", nx, ny, g, self.gamma, ext,
+                                   predict), slab_fn))
 
     def viscosity(self, patch, rank):
         nx, ny, g, dx, dy = self._geom(patch)
@@ -166,9 +195,14 @@ class CleverleafPatchIntegrator:
             K.viscosity(a["density0"], a["pressure"], a["viscosity"],
                         a["xvel0"], a["yvel0"], nx, ny, g, dx, dy)
 
+        def slab_fn(d, p, v, xv, yv):
+            K.viscosity(d, p, v, xv, yv, nx, ny, g, dx, dy)
+
         self._run(patch, rank, "hydro.viscosity", nx * ny, body,
                   reads=names[:2] + names[3:], writes=("viscosity",),
-                  ghost_reads=("pressure",))
+                  ghost_reads=("pressure",),
+                  slab=self._slab(patch, names,
+                                  ("viscosity", nx, ny, g, dx, dy), slab_fn))
 
     def calc_dt(self, patch, rank) -> float:
         nx, ny, g, dx, dy = self._geom(patch)
@@ -179,8 +213,16 @@ class CleverleafPatchIntegrator:
             return K.calc_dt(a["density0"], a["soundspeed"], a["viscosity"],
                              a["xvel0"], a["yvel0"], nx, ny, g, dx, dy)
 
+        def slab_fn(d, ss, v, xv, yv):
+            # One stacked min over every member's interior: ``np.min`` is
+            # exact selection, so this equals the min of per-patch mins.
+            return K.calc_dt(d, ss, v, xv, yv, nx, ny, g, dx, dy)
+
         dt = self._run(patch, rank, "hydro.calc_dt", nx * ny, body,
-                       reads=names, combine=min)
+                       reads=names, combine=min,
+                       slab=self._slab(patch, names,
+                                       ("calc_dt", nx, ny, g, dx, dy),
+                                       slab_fn))
         if self.batch_sink is not None:
             # ``dt`` is a BatchSlot; one fused reduce per (backend, level)
             # group fills it at flush, with one D2H readback per group
@@ -210,8 +252,15 @@ class CleverleafPatchIntegrator:
                   a["xvel0"], a["yvel0"], a["xvel1"], a["yvel1"],
                   nx, ny, g, dx, dy)
 
+        def slab_fn(d0, d1, e0, e1, p, v, xv0, yv0, xv1, yv1):
+            K.pdv(predict, dt, d0, d1, e0, e1, p, v, xv0, yv0, xv1, yv1,
+                  nx, ny, g, dx, dy)
+
         self._run(patch, rank, "hydro.pdv", nx * ny, body,
-                  reads=names, writes=("density1", "energy1"))
+                  reads=names, writes=("density1", "energy1"),
+                  slab=self._slab(patch, names,
+                                  ("pdv", predict, dt, nx, ny, g, dx, dy),
+                                  slab_fn))
 
     def accelerate(self, patch, rank, dt: float):
         nx, ny, g, dx, dy = self._geom(patch)
@@ -224,9 +273,15 @@ class CleverleafPatchIntegrator:
                          a["xvel0"], a["yvel0"], a["xvel1"], a["yvel1"],
                          nx, ny, g, dx, dy)
 
+        def slab_fn(d, p, v, xv0, yv0, xv1, yv1):
+            K.accelerate(dt, d, p, v, xv0, yv0, xv1, yv1, nx, ny, g, dx, dy)
+
         self._run(patch, rank, "hydro.accelerate", (nx + 1) * (ny + 1), body,
                   reads=names[:5], writes=("xvel1", "yvel1"),
-                  ghost_reads=("density0", "pressure", "viscosity"))
+                  ghost_reads=("density0", "pressure", "viscosity"),
+                  slab=self._slab(patch, names,
+                                  ("accelerate", dt, nx, ny, g, dx, dy),
+                                  slab_fn))
 
     def flux_calc(self, patch, rank, dt: float):
         nx, ny, g, dx, dy = self._geom(patch)
@@ -237,8 +292,14 @@ class CleverleafPatchIntegrator:
             K.flux_calc(dt, a["xvel0"], a["yvel0"], a["xvel1"], a["yvel1"],
                         a["vol_flux_x"], a["vol_flux_y"], nx, ny, g, dx, dy)
 
+        def slab_fn(xv0, yv0, xv1, yv1, vfx, vfy):
+            K.flux_calc(dt, xv0, yv0, xv1, yv1, vfx, vfy, nx, ny, g, dx, dy)
+
         self._run(patch, rank, "hydro.flux_calc", nx * ny, body,
-                  reads=names[:4], writes=names[4:])
+                  reads=names[:4], writes=names[4:],
+                  slab=self._slab(patch, names,
+                                  ("flux_calc", dt, nx, ny, g, dx, dy),
+                                  slab_fn))
 
     def advec_cell(self, patch, rank, direction: int, sweep_number: int):
         nx, ny, g, dx, dy = self._geom(patch)
@@ -253,6 +314,10 @@ class CleverleafPatchIntegrator:
                          a["pre_vol"], a["post_vol"], a["ener_flux"],
                          nx, ny, g, dx, dy)
 
+        def slab_fn(d1, e1, vfx, vfy, mfx, mfy, pre, post, ef):
+            K.advec_cell(direction, sweep_number, d1, e1, vfx, vfy, mfx, mfy,
+                         pre, post, ef, nx, ny, g, dx, dy)
+
         # The body hands out both mass-flux arrays; only the swept
         # direction's is written, the other is declared a (vacuous) read.
         self._run(patch, rank, "hydro.advec_cell", nx * ny, body,
@@ -260,7 +325,10 @@ class CleverleafPatchIntegrator:
                                      else ("mass_flux_x",)),
                   writes=("density1", "energy1", "mass_flux_x" if direction == 0
                           else "mass_flux_y", "pre_vol", "post_vol", "ener_flux"),
-                  ghost_reads=names[:4])
+                  ghost_reads=names[:4],
+                  slab=self._slab(patch, names,
+                                  ("advec_cell", direction, sweep_number,
+                                   nx, ny, g, dx, dy), slab_fn))
 
     def advec_mom(self, patch, rank, direction: int, sweep_number: int,
                   which_vel: int):
@@ -279,13 +347,21 @@ class CleverleafPatchIntegrator:
                         a["node_mass_pre"], a["mom_flux"],
                         a["pre_vol"], a["post_vol"], nx, ny, g, dx, dy)
 
+        def slab_fn(vel, d1, vfx, vfy, mfx, mfy, nf, nmpost, nmpre, mf,
+                    pre, post):
+            K.advec_mom(direction, sweep_number, vel, d1, vfx, vfy, mfx, mfy,
+                        nf, nmpost, nmpre, mf, pre, post, nx, ny, g, dx, dy)
+
         mass_flux = "mass_flux_x" if direction == 0 else "mass_flux_y"
         self._run(patch, rank, "hydro.advec_mom", (nx + 1) * (ny + 1), body,
                   reads=names[1:6],
                   writes=(vel_name, "node_flux", "node_mass_post",
                           "node_mass_pre", "mom_flux", "pre_vol", "post_vol"),
                   ghost_reads=(vel_name, "density1", "vol_flux_x",
-                               "vol_flux_y", mass_flux))
+                               "vol_flux_y", mass_flux),
+                  slab=self._slab(patch, names,
+                                  ("advec_mom", direction, sweep_number,
+                                   which_vel, nx, ny, g, dx, dy), slab_fn))
 
     def reset_field(self, patch, rank):
         nx, ny, g, dx, dy = self._geom(patch)
@@ -298,8 +374,13 @@ class CleverleafPatchIntegrator:
                           a["energy1"], a["xvel0"], a["xvel1"],
                           a["yvel0"], a["yvel1"], nx, ny, g)
 
+        def slab_fn(d0, d1, e0, e1, xv0, xv1, yv0, yv1):
+            K.reset_field(d0, d1, e0, e1, xv0, xv1, yv0, yv1, nx, ny, g)
+
         self._run(patch, rank, "hydro.reset_field", nx * ny, body,
-                  reads=names[1::2], writes=names[0::2])
+                  reads=names[1::2], writes=names[0::2],
+                  slab=self._slab(patch, names, ("reset_field", nx, ny, g),
+                                  slab_fn))
 
 
 class NonResidentGpuPatchIntegrator(CleverleafPatchIntegrator):

@@ -93,9 +93,13 @@ class HostDataFactory:
                 shapes = [tuple(frame_box_of(var, p.box).shape())
                           for p in patches]
                 arena = HostArena(sum(math.prod(s) for s in shapes))
-                for patch, shape in zip(patches, shapes):
+                for index, (patch, shape) in enumerate(zip(patches, shapes)):
                     pd = allocate_host(var, patch.box,
                                        buffer=arena.place(shape))
+                    # Backlink for the whole-slab fast path: this patch
+                    # data is member ``index`` of the arena's stacked view.
+                    pd._arena = arena
+                    pd._arena_index = index
                     patch.set_data(var.name, pd)
 
 
@@ -135,7 +139,9 @@ class CudaDataFactory:
                           for p in patches]
                 arena = DeviceArena(rank.device,
                                     sum(math.prod(s) for s in shapes))
-                for patch, shape in zip(patches, shapes):
+                for index, (patch, shape) in enumerate(zip(patches, shapes)):
                     pd = allocate_device(var, patch.box, rank.device,
                                          darr=arena.place(shape))
+                    pd._arena = arena
+                    pd._arena_index = index
                     patch.set_data(var.name, pd)

@@ -200,6 +200,10 @@ def registry_for_rank(rank) -> MetricsRegistry:
         reg.counter("batch.members", kernel=kernel).inc(c.members)
         reg.counter("batch.overhead_saved_seconds",
                     kernel=kernel).inc(c.overhead_saved_seconds)
+        reg.counter("batch.host_seconds", kernel=kernel).inc(c.host_seconds)
+    for kernel, c in stats.slab.items():
+        reg.counter("slab_fused", kernel=kernel).inc(c.fused)
+        reg.counter("slab_fallback", kernel=kernel).inc(c.fallback)
     if stats.overlap.async_seconds:
         reg.counter("overlap.async_seconds").inc(stats.overlap.async_seconds)
         reg.counter("overlap.exposed_seconds").inc(stats.overlap.exposed_seconds)

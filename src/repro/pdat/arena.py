@@ -41,6 +41,7 @@ class HostArena:
     def __init__(self, total_elements: int, dtype=np.float64):
         self.slab = np.empty(int(total_elements), dtype=dtype)
         self.offsets: list[int] = []
+        self.shapes: list[tuple[int, ...]] = []
         self._used = 0
 
     def place(self, shape) -> np.ndarray:
@@ -51,5 +52,45 @@ class HostArena:
                 f"arena overflow: {self._used} + {n} > {self.slab.size}")
         view = self.slab[self._used:self._used + n].reshape(tuple(shape))
         self.offsets.append(self._used)
+        self.shapes.append(tuple(int(s) for s in shape))
         self._used += n
         return view
+
+    # -- whole-slab access (--kernels slab) ------------------------------------
+
+    @property
+    def member_count(self) -> int:
+        return len(self.offsets)
+
+    @property
+    def uniform(self) -> bool:
+        """True when every placed member has the same frame shape, so the
+        slab admits a stacked (P, f0, f1) view.  Ragged levels (mixed
+        patch sizes) are non-uniform and fall back to the per-patch path."""
+        return bool(self.shapes) and all(s == self.shapes[0]
+                                         for s in self.shapes[1:])
+
+    def stacked_view(self) -> np.ndarray:
+        """The whole slab as one (P, f0, f1) array, members on axis 0.
+
+        Member ``i`` of the stack aliases exactly the view ``place``
+        returned for member ``i`` — a free reshape of the contiguous
+        slab prefix, no copy.
+        """
+        if not self.uniform:
+            raise ValueError("stacked view needs a uniform arena")
+        shape = self.shapes[0]
+        n = self.member_count
+        return self.slab[:n * math.prod(shape)].reshape((n,) + shape)
+
+    def interior_mask(self, ghosts: int) -> np.ndarray:
+        """Boolean (P, f0, f1) mask, True on each member's interior.
+
+        The interior is the frame minus ``ghosts`` layers on every edge
+        of the trailing two axes — the region masked reductions and
+        diagnostics over a stacked view should consider.
+        """
+        mask = np.zeros(self.stacked_view().shape, dtype=bool)
+        g = int(ghosts)
+        mask[:, g:mask.shape[1] - g, g:mask.shape[2] - g] = True
+        return mask

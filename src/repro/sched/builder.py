@@ -135,7 +135,7 @@ class GraphBuilder:
     def kernel_task(self, backend, rank: "Rank", kernel: str, elements: int,
                     body, reads, writes,
                     ghost_reads=(), ghost_only=False, marks=(),
-                    level=None, combine=None) -> Task | None:
+                    level=None, combine=None, slab=None) -> Task | None:
         """One compute-kernel launch, dispatched through ``backend``.
 
         With fusion on, same-kernel launches on the same (backend, level)
@@ -143,11 +143,14 @@ class GraphBuilder:
         task appears when the group flushes.  ``combine`` marks a
         reduction kernel (the CFL min) — its fused group additionally
         emits one readback task, recorded in :attr:`fused_readbacks`.
+        ``slab`` (a SlabSpec or fallback sentinel under ``--kernels
+        slab``) rides on the member so the fused task's ``run_batched``
+        can take the whole-slab fast path.
         """
         if self.fuse and not ghost_only:
             return self._collect(backend, rank, kernel,
                                  BatchMember(elements, body, reads, writes,
-                                             ghost_reads, marks),
+                                             ghost_reads, marks, slab=slab),
                                  level=level, combine=combine)
         return self.add(
             TaskKind.KERNEL, rank.index, kernel,

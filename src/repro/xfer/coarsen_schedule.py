@@ -59,6 +59,7 @@ class CoarsenSchedule:
         comm: "SimCommunicator",
         factory,
         batch: bool = False,
+        slab: bool = False,
     ):
         self.fine_level = fine_level
         self.coarse_level = coarse_level
@@ -67,6 +68,10 @@ class CoarsenSchedule:
         self.factory = factory
         #: fuse the per-variable coarsen kernels into batched launches
         self.batch = batch
+        #: ``--kernels slab``: coarsening runs through per-region temps,
+        #: inherently per-patch work — its fused launches are marked as
+        #: deliberate slab fallbacks
+        self.slab = slab
         self.transactions: list[_CoarsenTransaction] = []
         self._build()
 
@@ -76,9 +81,14 @@ class CoarsenSchedule:
         fine_pd = fine_patch.data(spec.var.name)
         op = spec.coarsen_op
         if isinstance(op, CellMassWeightedCoarsen):
-            return op.batch_member_weighted(
+            member = op.batch_member_weighted(
                 fine_pd, fine_patch.data(spec.weight_name), temp, region, ratio)
-        return op.batch_member(fine_pd, temp, region, ratio)
+        else:
+            member = op.batch_member(fine_pd, temp, region, ratio)
+        if self.slab:
+            from ..exec.batch import SLAB_FALLBACK
+            member.slab = SLAB_FALLBACK
+        return member
 
     def _build(self) -> None:
         ratio = self.fine_level.ratio_to_coarser
@@ -229,7 +239,8 @@ class CoarsenSchedule:
                                    "geom.coarsen", member.elements,
                                    member.body, list(member.reads),
                                    list(member.writes),
-                                   level=self.fine_level.level_number)
+                                   level=self.fine_level.level_number,
+                                   slab=member.slab)
                     temps.append((spec, temp, region))
                     continue
                 if isinstance(op, CellMassWeightedCoarsen):

@@ -212,6 +212,7 @@ class RefineSchedule:
         interior: bool = False,
         geometry_cache: dict | None = None,
         batch: bool = False,
+        slab: bool = False,
     ):
         self.dst_level = dst_level
         self.coarse_level = coarse_level
@@ -222,6 +223,10 @@ class RefineSchedule:
         self.interior = interior
         #: fuse clamp/refine/boundary kernels into batched launches
         self.batch = batch
+        #: ``--kernels slab``: fill work is inherently per-region (ragged
+        #: halo bodies, per-region interpolation temps), so its fused
+        #: launches are marked as deliberate slab fallbacks
+        self.slab = slab
         if src_level is None and not interior:
             src_level = dst_level
         cache = geometry_cache if geometry_cache is not None else {}
@@ -511,9 +516,11 @@ class RefineSchedule:
         """
         from ..comm.simcomm import Message
         from ..exec.backend import array_of, backend_for
-        from ..exec.batch import BatchMember
+        from ..exec.batch import SLAB_FALLBACK, BatchMember
         from .message import copy_batch_local, pack_batch, unpack_batch
         from .transfer import MESSAGE_HEADER_BYTES
+
+        slab = SLAB_FALLBACK if self.slab else None
 
         entries = []  # (specs, temps, ig, dst_rank)
         gathers: dict[int, tuple[object, list]] = {}
@@ -563,10 +570,11 @@ class RefineSchedule:
                         frame.size(),
                         lambda temp=temp, frame=frame, valid=valid:
                             clamp_extend(array_of(temp), frame, valid),
-                        reads=(temp,), writes=(temp,)))
+                        reads=(temp,), writes=(temp,), slab=slab))
                 dst_pd = ig.dst_patch.data(spec.var.name)
                 member = spec.refine_op.batch_member(
                     temp, dst_pd, ig.region, ratio)
+                member.slab = slab
                 if ghost:
                     member.marks = (
                         ("stamp", dst_pd,
@@ -588,11 +596,15 @@ class RefineSchedule:
         """One ``update_halo`` launch per rank over its boundary patches."""
         from ..exec.backend import backend_for
 
+        from ..exec.batch import SLAB_FALLBACK
+
         groups: dict[int, tuple[object, list]] = {}
         for dst in self.dst_level:
             member = self.boundary.batch_member(dst, variables)
             if member is None:
                 continue
+            if self.slab:
+                member.slab = SLAB_FALLBACK
             backend = backend_for(member.writes[0], ranks[dst.owner])
             entry = groups.setdefault(id(backend), (backend, []))
             entry[1].append(member)
@@ -607,12 +619,16 @@ class RefineSchedule:
             # union of operands; one batched launch replaces the
             # per-variable (or homogeneous-op fused) launches.
             from ..exec.backend import backend_for
+            from ..exec.batch import SLAB_FALLBACK
 
             members = [
                 spec.refine_op.batch_member(
                     temp, ig.dst_patch.data(spec.var.name), ig.region, ratio)
                 for spec, temp in zip(specs, temps)
             ]
+            if self.slab:
+                for member in members:
+                    member.slab = SLAB_FALLBACK
             backend_for(temps[0], dst_rank).run_batched("geom.refine", members)
             return
         op0 = specs[0].refine_op

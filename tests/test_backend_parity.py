@@ -22,7 +22,8 @@ FIELDS = ("density0", "energy0", "pressure", "soundspeed",
 
 
 def _run(use_gpu: bool, use_scheduler: bool = False, overlap: bool = False,
-         resident: bool = True, batch: bool = False, max_patch: int = 32):
+         resident: bool = True, batch: bool = False, max_patch: int = 32,
+         kernels: str | None = None):
     cfg = RunConfig(
         problem=SodProblem((32, 32)),
         nranks=1,
@@ -35,6 +36,7 @@ def _run(use_gpu: bool, use_scheduler: bool = False, overlap: bool = False,
         use_scheduler=use_scheduler,
         overlap=overlap,
         batch_launches=batch,
+        kernels=kernels,
     )
     return run(cfg)
 
@@ -185,6 +187,73 @@ def test_batched_run_records_fusion_stats(batch_runs):
     assert total_members > total_launches  # genuinely fused
     assert sum(b.overhead_saved_seconds
                for b in stats.batches.values()) > 0.0
+
+
+# -- whole-slab kernels (--kernels slab) vs per-patch replay -------------------
+
+SLAB_CASES = [
+    # (label, use_gpu, resident)
+    ("host", False, True),
+    ("resident", True, True),
+    ("nonresident", True, False),
+]
+
+
+@pytest.fixture(scope="module")
+def slab_runs():
+    """Per-patch-replay batched run vs whole-slab batched run on every
+    backend; small patches so slabs stack many members."""
+    out = {}
+    for label, use_gpu, resident in SLAB_CASES:
+        out[label] = (
+            _run(use_gpu, resident=resident, max_patch=8, batch=True,
+                 kernels="patch"),
+            _run(use_gpu, resident=resident, max_patch=8, batch=True,
+                 kernels="slab"),
+        )
+    return out
+
+
+@pytest.mark.parametrize("label", [c[0] for c in SLAB_CASES])
+def test_slab_kernels_bitwise_identical(slab_runs, label):
+    """One vectorized NumPy op over the whole arena slab computes the
+    exact bits of the per-patch replay on every backend."""
+    ref, slab = slab_runs[label]
+    assert slab.steps == ref.steps
+    assert slab.sim.dt == ref.sim.dt
+    assert slab.dt_history == ref.dt_history
+    for lnum in range(ref.sim.hierarchy.num_levels):
+        for field in FIELDS:
+            a = gather_level_field(ref.sim.hierarchy.level(lnum), field)
+            b = gather_level_field(slab.sim.hierarchy.level(lnum), field)
+            assert np.array_equal(a, b, equal_nan=True), (
+                f"{field} diverged on level {lnum} under --kernels slab "
+                f"({label})")
+
+
+@pytest.mark.parametrize("label", [c[0] for c in SLAB_CASES])
+def test_slab_kernels_leave_modelled_time_unchanged(slab_runs, label):
+    """Slab execution is a host-side rewrite: the fused launch charges
+    the identical modelled cost, so virtual runtime is bit-equal."""
+    ref, slab = slab_runs[label]
+    assert slab.runtime == ref.runtime
+
+
+@pytest.mark.parametrize("label", [c[0] for c in SLAB_CASES])
+def test_slab_run_records_fused_counters(slab_runs, label):
+    from repro.exec.stats import combined_stats
+
+    ref, slab = slab_runs[label]
+    stats = combined_stats(r.exec_stats for r in slab.sim.comm.ranks)
+    fused = {k: c.fused for k, c in stats.slab.items() if c.fused}
+    # every uniform-level hydro sweep fuses; halo/geometry fall back
+    for kernel in ("hydro.ideal_gas", "hydro.viscosity", "hydro.calc_dt",
+                   "hydro.pdv", "hydro.accelerate", "hydro.flux_calc",
+                   "hydro.advec_cell", "hydro.advec_mom",
+                   "hydro.reset_field"):
+        assert fused.get(kernel, 0) > 0, f"{kernel} never slab-fused ({label})"
+    ref_stats = combined_stats(r.exec_stats for r in ref.sim.comm.ranks)
+    assert not ref_stats.slab, "patch-kernel run recorded slab counters"
 
 
 # -- property: any fusion grouping preserves bits -----------------------------

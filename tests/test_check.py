@@ -344,6 +344,50 @@ def test_sanitize_batched_run_is_clean_and_identical():
             )
 
 
+def test_slab_handout_enforces_uniform_declared_role():
+    """Stacked handouts are instrumented like per-patch ones: all-writes
+    stays live, all-reads is a read-only aliasing view, and a mixed or
+    undeclared stack is an invariant violation (the slab planner refuses
+    such groups before launch — this is the backstop)."""
+    chk = SanitizeChecker()
+    x, y = Datum("density0"), Datum("energy0")
+    arr = np.zeros((2, 4))
+
+    scope = chk.begin_kernel("hydro.pdv", reads=[x], writes=[y])
+    try:
+        ro = chk.on_slab_handout((x, x), arr)
+        assert ro.base is arr and not ro.flags.writeable
+        rw = chk.on_slab_handout((y, y), arr)
+        assert rw is arr and rw.flags.writeable
+        with pytest.raises(DeclaredAccessError, match="slab"):
+            chk.on_slab_handout((x, y), arr)  # mixed roles
+        with pytest.raises(DeclaredAccessError, match="slab"):
+            chk.on_slab_handout((Datum("undeclared"),), arr)
+    finally:
+        chk.abort_kernel(scope)
+
+
+def test_sanitize_slab_run_is_clean_and_identical():
+    """``--kernels slab --sanitize``: the checker sees every stacked
+    handout, stays clean, and observing changes no bits relative to the
+    per-patch-replay batched run."""
+    from repro.exec.stats import combined_stats
+
+    plain = run(_config(batch_launches=True, kernels="patch"))
+    want = _fields(plain.sim)
+    sane = run(_config(batch_launches=True, kernels="slab", sanitize=True))
+    assert sane.steps == plain.steps
+    assert sane.sanitize_counters is not None
+    assert sane.sanitize_counters["kernels"] > 0
+    stats = combined_stats(r.exec_stats for r in sane.sim.comm.ranks)
+    assert sum(c.fused for c in stats.slab.values()) > 0, \
+        "sanitized run never slab-fused"
+    got = _fields(sane.sim)
+    for key in want:
+        assert np.array_equal(want[key], got[key], equal_nan=True), (
+            f"{key} diverged under --kernels slab --sanitize")
+
+
 def test_sanitize_end_to_end_run_is_clean_and_identical():
     plain = run(_config(use_scheduler=True, overlap=True))
     sane = run(_config(use_scheduler=True, overlap=True,
