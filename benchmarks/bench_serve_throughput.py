@@ -1,0 +1,167 @@
+"""Serve throughput: many tenants, one device pool.
+
+The serve layer multiplexes N queued ``RunConfig`` jobs over one shared
+pool of simulated devices, with memory-reservation admission control,
+priority classes, and cooperative checkpoint/preempt/resume.  This
+benchmark drives a mixed workload — a backlog of batch jobs, identical
+twins that exercise the init-snapshot cache, and late-arriving
+interactive jobs that force preemption — over a deliberately tight
+2-device pool, and reports service throughput (jobs/hour of virtual
+service time) and per-priority-class latency percentiles.
+
+Asserted invariants, the contract of the service:
+
+* at least two jobs genuinely share the pool (overlapping admit/finish),
+* an over-committed pool makes jobs *queue* (admitted later than
+  submitted) rather than OOM,
+* every preempted-and-resumed job is bitwise identical (fields and dt
+  history) to an uninterrupted twin run of the same config.
+"""
+
+import numpy as np
+
+from repro.api import RunConfig, SodProblem, run
+from repro.serve import DevicePool, JobSpec, JobState, Scheduler
+from repro.serve.pool import estimate_run_bytes
+
+from _report import FULL, QUICK_STEPS, emit, table
+
+#: schema of the metrics block in BENCH_serve_throughput.json
+SERVE_BENCH_SCHEMA = "repro.serve_bench/1"
+
+RES = 48 if FULL else 32
+BATCH_JOBS = 8 if FULL else 5
+INTERACTIVE_JOBS = 3 if FULL else 2
+BATCH_STEPS = (3 * QUICK_STEPS) if FULL else QUICK_STEPS + 2
+INTERACTIVE_STEPS = QUICK_STEPS // 2
+
+
+def _cfg(steps: int) -> RunConfig:
+    return RunConfig(problem=SodProblem((RES, RES)), nranks=1,
+                     max_steps=steps, max_patch_size=16)
+
+
+def _percentile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def _max_concurrency(events: list[dict]) -> int:
+    live, peak = set(), 0
+    for e in events:
+        if e["event"] == "admitted":
+            live.add(e["job"])
+            peak = max(peak, len(live))
+        elif e["event"] in ("completed", "failed", "preempted"):
+            live.discard(e["job"])
+    return peak
+
+
+def test_serve_throughput():
+    batch_cfg = _cfg(BATCH_STEPS)
+    # two devices, each fits exactly one job: a backlog must queue
+    pool = DevicePool(2, device_bytes=int(estimate_run_bytes(batch_cfg) * 1.5))
+    scheduler = Scheduler(pool, slice_steps=4)
+
+    import time as _time
+    wall0 = _time.perf_counter()
+    for i in range(BATCH_JOBS):
+        # the last batch job duplicates the first config: a cache twin
+        scheduler.submit(JobSpec(f"batch-{i}", _cfg(BATCH_STEPS),
+                                 tenant=f"tenant-{i % 2}"))
+    scheduler.round_once()  # batch work now owns every device
+    for i in range(INTERACTIVE_JOBS):
+        scheduler.submit(JobSpec(f"urgent-{i}", _cfg(INTERACTIVE_STEPS),
+                                 tenant="frontend", priority="interactive"))
+    records = scheduler.run()
+    wall = _time.perf_counter() - wall0
+
+    assert all(r.state is JobState.COMPLETED for r in records)
+
+    # -- contract: concurrency, queueing-not-OOM, bitwise preemption ---------
+    concurrency = _max_concurrency(scheduler.events.history)
+    assert concurrency >= 2, "pool must run at least two jobs concurrently"
+
+    waited = [r for r in records if r.admitted_at > r.submitted_at]
+    assert waited, "a tight pool must make some jobs queue"
+
+    preempted = [r for r in records if r.preemptions > 0]
+    assert preempted, "late interactive arrivals must force preemption"
+    for r in preempted:
+        twin = run(r.spec.cfg)
+        assert r.result.dt_history == twin.dt_history
+        assert r.result.final_fields == twin.final_fields
+        for k, v in r.result.final_fields.items():
+            assert np.float64(v) == np.float64(twin.final_fields[k])
+
+    # -- headline numbers ----------------------------------------------------
+    makespan = scheduler.clock
+    jobs_per_hour = len(records) / (makespan / 3600.0)
+    by_class: dict[str, list[float]] = {}
+    for r in records:
+        by_class.setdefault(r.spec.priority, []).append(r.latency)
+
+    rows = []
+    for priority in sorted(by_class):
+        lats = by_class[priority]
+        rows.append([priority, len(lats),
+                     f"{_percentile(lats, 0.50):.6f}",
+                     f"{_percentile(lats, 0.99):.6f}",
+                     f"{max(lats):.6f}"])
+    lines = [
+        "Serve throughput: mixed-priority workload on a 2-device pool",
+        f"jobs={len(records)}  devices={pool.ndevices}  "
+        f"slice_steps={scheduler.slice_steps}  resolution={RES}x{RES}",
+        f"makespan={makespan:.6f} virtual s  "
+        f"throughput={jobs_per_hour:,.0f} jobs/hour  wall={wall:.2f}s",
+        f"max_concurrency={concurrency}  "
+        f"queued_jobs={len(waited)}  preemptions="
+        f"{sum(r.preemptions for r in records)}  "
+        f"cache_hits={scheduler.cache.hits}",
+        "",
+    ]
+    lines += table(
+        "virtual latency by priority class (s)",
+        ["class", "jobs", "p50", "p99", "max"], rows)
+    lines.append("")
+    lines.append("preempted jobs bitwise-identical to uninterrupted twins: "
+                 f"{len(preempted)}/{len(preempted)} verified")
+
+    emit(
+        "serve_throughput",
+        lines,
+        config={
+            "resolution": RES,
+            "devices": pool.ndevices,
+            "device_bytes": pool.device_bytes,
+            "batch_jobs": BATCH_JOBS,
+            "interactive_jobs": INTERACTIVE_JOBS,
+            "batch_steps": BATCH_STEPS,
+            "interactive_steps": INTERACTIVE_STEPS,
+            "slice_steps": scheduler.slice_steps,
+        },
+        metrics={
+            "schema": SERVE_BENCH_SCHEMA,
+            "jobs": len(records),
+            "makespan_virtual_s": makespan,
+            "jobs_per_hour": jobs_per_hour,
+            "max_concurrency": concurrency,
+            "queued_jobs": len(waited),
+            "preemptions": sum(r.preemptions for r in records),
+            "cache_hits": scheduler.cache.hits,
+            "bitwise_verified_preemptions": len(preempted),
+            "latency": {
+                priority: {
+                    "p50": _percentile(lats, 0.50),
+                    "p99": _percentile(lats, 0.99),
+                    "max": max(lats),
+                    "jobs": len(lats),
+                } for priority, lats in by_class.items()
+            },
+            "wall_seconds": wall,
+        },
+        manifest=records[0].result.metrics,
+    )

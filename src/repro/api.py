@@ -17,6 +17,9 @@ shim over this module.
 
 from __future__ import annotations
 
+import hashlib
+import time as _time
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 
 from . import make_communicator
@@ -25,7 +28,12 @@ from .hydro.patch_integrator import (
     CleverleafPatchIntegrator,
     NonResidentGpuPatchIntegrator,
 )
-from .hydro.problems import Problem, SodProblem
+from .hydro.problems import (
+    BlastProblem,
+    Problem,
+    SodProblem,
+    TriplePointProblem,
+)
 from .mesh.variables import CudaDataFactory, HostDataFactory
 from .obs import (
     ChromeTraceSink,
@@ -42,10 +50,25 @@ __all__ = [
     "ObservabilityConfig",
     "RunConfig",
     "RunResult",
+    "RunSession",
     "build_simulation",
+    "fingerprint",
     "run",
     "scaled",
+    "Problem",
+    "SodProblem",
+    "TriplePointProblem",
+    "BlastProblem",
+    "PROBLEMS",
 ]
+
+#: problem name -> class, for CLI-style construction without touching
+#: ``repro.hydro`` (the serve layer and the CLI both resolve through this)
+PROBLEMS: dict[str, type[Problem]] = {
+    "sod": SodProblem,
+    "triple_point": TriplePointProblem,
+    "blast": BlastProblem,
+}
 
 
 @dataclass
@@ -175,96 +198,212 @@ def build_simulation(cfg: RunConfig) -> LagrangianEulerianIntegrator:
     )
 
 
-def run(cfg: RunConfig) -> RunResult:
-    """Initialise and run to the configured budget; return measurements."""
-    from .check import SanitizeChecker, activate, deactivate
-    from .hydro.diagnostics import field_summary
+class RunSession:
+    """An incremental driver over one simulation: build, advance, pause.
 
-    obs = cfg.observability
-    if cfg.max_steps is None and cfg.end_time is None:
-        raise ValueError("need max_steps or end_time")
+    :func:`run` drives a session start-to-finish; the serve layer
+    (:mod:`repro.serve`) interleaves many sessions over one device pool
+    by advancing each a slice of steps at a time.  The contract that
+    makes cooperative preemption bitwise-safe:
 
-    sim = build_simulation(cfg)
+    * the sanitizer and tracer for this session are process-global while
+      installed, so they are activated only *inside* ``advance`` (and the
+      constructor's initialise) — between slices the process is clean and
+      another session may run;
+    * ``checkpoint_db`` between slices plus a new session with
+      ``init_db=`` that dict (and the prior ``dt_history``) resumes the
+      run with bitwise-identical fields and dt sequence — step boundaries
+      are the only yield points, and the restart layer round-trips every
+      backend exactly.
+    """
 
-    tracer = None
-    memory = None
-    if obs.trace:
-        memory = MemorySink()
-        sinks = [memory]
-        if obs.trace_path is not None:
-            sinks.append(ChromeTraceSink(obs.trace_path))
-        tracer = Tracer(sinks)
-        activate_tracer(tracer)
+    def __init__(self, cfg: RunConfig, *, init_db: dict | None = None,
+                 dt_history=()):
+        from .check import SanitizeChecker
 
-    import time as _time
-
-    checker = None
-    dt_history: list[float] = []
-    metrics_history: list[tuple[int, dict]] = []
-    wall0 = _time.perf_counter()
-    step_wall0 = wall0
-    try:
-        if cfg.sanitize:
-            checker = SanitizeChecker()
-            activate(checker)
+        if cfg.max_steps is None and cfg.end_time is None:
+            raise ValueError("need max_steps or end_time")
+        self.cfg = cfg
+        self.dt_history: list[float] = [float(dt) for dt in dt_history]
+        self.metrics_history: list[tuple[int, dict]] = []
+        self._checker = SanitizeChecker() if cfg.sanitize else None
+        self._tracer = None
+        self._memory = None
+        if cfg.observability.trace:
+            self._memory = MemorySink()
+            sinks: list = [self._memory]
+            if cfg.observability.trace_path is not None:
+                sinks.append(ChromeTraceSink(cfg.observability.trace_path))
+            self._tracer = Tracer(sinks)
+        self._closed = False
+        self._step_wall = 0.0
+        self._wall0 = _time.perf_counter()
+        self._wall_end = self._wall0
+        self.sim = build_simulation(cfg)
         try:
-            sim.initialise()
-            start = sim.elapsed()
-            step_wall0 = _time.perf_counter()
-            while True:
-                if cfg.max_steps is not None and sim.step_count >= cfg.max_steps:
-                    break
-                if cfg.end_time is not None and sim.time >= cfg.end_time:
-                    break
-                sim.step()
-                dt_history.append(float(sim.dt))
-                if (obs.metrics_interval is not None
-                        and sim.step_count % obs.metrics_interval == 0):
-                    metrics_history.append(
-                        (sim.step_count, registry_from_run(sim).snapshot()))
-        finally:
-            if cfg.sanitize:
-                deactivate()
-    finally:
-        if tracer is not None:
-            deactivate_tracer()
-            tracer.close()
-    wall1 = _time.perf_counter()
+            with self._active():
+                if init_db is not None:
+                    from .util.restart import restore
 
-    counters = None
-    if checker is not None:
-        counters = {
-            "tasks": checker.tasks_checked,
-            "kernels": checker.kernels_checked,
-            "graphs": checker.graphs_checked,
+                    restore(self.sim, init_db)
+                else:
+                    self.sim.initialise()
+        except BaseException:
+            self.close()
+            raise
+        self._start = self.sim.elapsed()
+        self._wall_end = _time.perf_counter()
+
+    @contextmanager
+    def _active(self):
+        """Install this session's tracer/checker for one slice of work."""
+        from .check import activate, deactivate
+
+        if self._tracer is not None:
+            activate_tracer(self._tracer)
+        if self._checker is not None:
+            activate(self._checker)
+        try:
+            yield
+        finally:
+            if self._checker is not None:
+                deactivate()
+            if self._tracer is not None:
+                deactivate_tracer()
+
+    @property
+    def done(self) -> bool:
+        """True once the configured step/time budget is exhausted."""
+        cfg = self.cfg
+        if cfg.max_steps is not None and self.sim.step_count >= cfg.max_steps:
+            return True
+        return cfg.end_time is not None and self.sim.time >= cfg.end_time
+
+    def advance(self, max_steps: int | None = None) -> int:
+        """Take up to ``max_steps`` steps (all remaining when None).
+
+        Returns the number of steps actually taken; 0 means the budget
+        was already exhausted.
+        """
+        obs = self.cfg.observability
+        taken = 0
+        t0 = _time.perf_counter()
+        with self._active():
+            while not self.done and (max_steps is None or taken < max_steps):
+                self.sim.step()
+                self.dt_history.append(float(self.sim.dt))
+                taken += 1
+                if (obs.metrics_interval is not None
+                        and self.sim.step_count % obs.metrics_interval == 0):
+                    self.metrics_history.append(
+                        (self.sim.step_count,
+                         registry_from_run(self.sim).snapshot()))
+        self._wall_end = _time.perf_counter()
+        self._step_wall += self._wall_end - t0
+        return taken
+
+    def checkpoint_db(self) -> dict:
+        """A restart db of the current state (call between slices)."""
+        from .util.restart import checkpoint
+
+        return checkpoint(self.sim)
+
+    @property
+    def sanitize_counters(self) -> dict[str, int] | None:
+        if self._checker is None:
+            return None
+        return {
+            "tasks": self._checker.tasks_checked,
+            "kernels": self._checker.kernels_checked,
+            "graphs": self._checker.graphs_checked,
         }
 
-    manifest = run_manifest(sim, steps=sim.step_count, dt_history=dt_history)
+    def result(self) -> RunResult:
+        """Measurements for the work this session performed; closes it."""
+        from .hydro.diagnostics import field_summary
 
-    checkpoint_path = None
-    if cfg.checkpoint_path is not None:
-        from .util.restart import checkpoint, save_npz
+        sim = self.sim
+        manifest = run_manifest(sim, steps=sim.step_count,
+                                dt_history=self.dt_history)
+        checkpoint_path = None
+        if self.cfg.checkpoint_path is not None:
+            from .util.restart import save_npz
 
-        save_npz(checkpoint(sim), cfg.checkpoint_path)
-        checkpoint_path = cfg.checkpoint_path
+            save_npz(self.checkpoint_db(), self.cfg.checkpoint_path)
+            checkpoint_path = self.cfg.checkpoint_path
+        self.close()
+        return RunResult(
+            sim=sim,
+            runtime=sim.elapsed() - self._start,
+            steps=sim.step_count,
+            cells=sim.total_cells(),
+            timers=sim.timer_summary(),
+            wall_seconds=self._wall_end - self._wall0,
+            step_wall_seconds=self._step_wall,
+            final_fields={k: float(v)
+                          for k, v in field_summary(sim.hierarchy).items()},
+            dt_history=self.dt_history,
+            metrics=manifest,
+            metrics_history=self.metrics_history,
+            trace_path=(self.cfg.observability.trace_path
+                        if self._tracer is not None else None),
+            trace_spans=self._memory.spans if self._memory is not None else [],
+            checkpoint_path=checkpoint_path,
+            sanitize_counters=self.sanitize_counters,
+        )
 
-    return RunResult(
-        sim=sim,
-        runtime=sim.elapsed() - start,
-        steps=sim.step_count,
-        cells=sim.total_cells(),
-        timers=sim.timer_summary(),
-        wall_seconds=wall1 - wall0,
-        step_wall_seconds=wall1 - step_wall0,
-        final_fields={k: float(v) for k, v in field_summary(sim.hierarchy).items()},
-        dt_history=dt_history,
-        metrics=manifest,
-        metrics_history=metrics_history,
-        trace_path=obs.trace_path if tracer is not None else None,
-        trace_spans=memory.spans if memory is not None else [],
-        checkpoint_path=checkpoint_path,
-        sanitize_counters=counters,
-    )
+    def close(self) -> None:
+        """Flush trace sinks; idempotent, safe after partial construction."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._tracer is not None:
+            self._tracer.close()
+
+
+def run(cfg: RunConfig) -> RunResult:
+    """Initialise and run to the configured budget; return measurements."""
+    session = RunSession(cfg)
+    try:
+        session.advance()
+        return session.result()
+    finally:
+        session.close()
+
+
+def fingerprint(cfg: RunConfig, *, full: bool = False) -> str:
+    """A stable hex digest of the configuration.
+
+    The default (init) scope hashes exactly the fields that determine
+    the state ``initialise`` produces — problem, rank count and the AMR
+    layout parameters — so two configs with equal fingerprints can share
+    one cached post-initialise snapshot (backend choice changes modelled
+    time, never bits, so it is deliberately excluded).  ``full=True``
+    additionally hashes the machine/backend/budget fields, identifying
+    runs whose *results* must match bitwise end to end.
+    """
+    p = cfg.problem
+    key: list = [
+        ("problem", type(p).__name__, sorted(vars(p).items())),
+        ("nranks", cfg.nranks),
+        ("max_levels", cfg.max_levels),
+        ("refinement_ratio", cfg.refinement_ratio),
+        ("max_patch_size", cfg.max_patch_size),
+        ("regrid_interval", cfg.regrid_interval),
+    ]
+    if full:
+        key += [
+            ("machine", cfg.machine),
+            ("use_gpu", cfg.use_gpu),
+            ("resident", cfg.resident),
+            ("max_steps", cfg.max_steps),
+            ("end_time", cfg.end_time),
+            ("use_scheduler", cfg.use_scheduler),
+            ("overlap", cfg.overlap),
+            ("batch_launches", cfg.batch_launches),
+            ("kernels", cfg.kernels),
+        ]
+    return hashlib.sha256(repr(key).encode()).hexdigest()[:16]
 
 
 def scaled(cfg: RunConfig, **overrides) -> RunConfig:

@@ -25,6 +25,12 @@ dynamic checker can only observe at runtime:
   vectorized op per fused level group); new dispatch sites should emit
   batch members and let ``run_batched`` fuse them.  Reference-path loops
   (kept for bitwise comparison) carry a waiver.
+* **serve** — the service layer (:mod:`repro.serve`) may only enter
+  simulations through the :mod:`repro.api` facade (plus the
+  observability/util/capacity layers it orchestrates with); importing
+  the simulation internals (``hydro``, ``mesh``, ``exec``, ``xfer``,
+  ``comm``, …) from serve code couples the service to layers whose
+  contract is owned by ``repro.api``.
 
 A violating line can be waived with a ``# samrcheck: ok`` comment, which
 is itself greppable.  Exit status is the number of violations (0 = clean).
@@ -43,6 +49,12 @@ __all__ = ["lint_file", "lint_paths", "main", "Violation"]
 SEAM_DIRS = frozenset({"exec", "pdat", "cupdat", "gpu", "check"})
 #: directories allowed to handle raw device memory
 DEVICE_DIRS = frozenset({"gpu", "exec", "cupdat", "check"})
+#: packages the serve layer may import from — everything else (the
+#: simulation internals: hydro, mesh, exec, xfer, comm, ...) must be
+#: reached through the ``repro.api`` facade
+SERVE_ALLOWED = frozenset({
+    "api", "obs", "util", "gpu", "check", "perf", "serve",
+})
 
 _STORAGE_ATTRS = frozenset({
     "array", "view", "full_view", "frame", "darr", "device",
@@ -170,6 +182,11 @@ class _Linter(ast.NodeVisitor):
                     self._flag(node, "api",
                                "import of deprecated 'repro.app' outside the "
                                "repro package — use the 'repro.api' facade")
+        if self.pkg == "serve":
+            for alias in node.names:
+                if alias.name == "repro" or alias.name.startswith("repro."):
+                    self._check_serve_target(
+                        node, alias.name.split(".")[1:])
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom):
@@ -178,7 +195,25 @@ class _Linter(ast.NodeVisitor):
                 self._flag(node, "api",
                            "import from deprecated 'repro.app' outside the "
                            "repro package — use the 'repro.api' facade")
+        if self.pkg == "serve":
+            parts = node.module.split(".") if node.module else []
+            if node.level >= 2:
+                # ``from ..xxx import`` resolves against the repro root
+                self._check_serve_target(node, parts)
+            elif node.level == 0 and parts[:1] == ["repro"]:
+                self._check_serve_target(node, parts[1:])
+            # node.level == 1 is a serve-internal sibling: always fine
         self.generic_visit(node)
+
+    def _check_serve_target(self, node, parts: list[str]) -> None:
+        """``parts`` is the dotted path below the ``repro`` root."""
+        top = parts[0] if parts else ""
+        if top not in SERVE_ALLOWED:
+            what = f"repro.{top}" if top else "the repro package root"
+            self._flag(node, "serve",
+                       f"serve-layer import of {what} — the service may "
+                       "only enter simulations through the 'repro.api' "
+                       "facade")
 
     def visit_Call(self, node: ast.Call):
         func = node.func

@@ -11,16 +11,9 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .api import ObservabilityConfig, RunConfig, run
-from .hydro.problems import BlastProblem, SodProblem, TriplePointProblem
+from .api import PROBLEMS, ObservabilityConfig, RunConfig, run
 
 __all__ = ["main", "build_parser"]
-
-PROBLEMS = {
-    "sod": SodProblem,
-    "triple_point": TriplePointProblem,
-    "blast": BlastProblem,
-}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -86,6 +79,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    # Service subcommands: everything else is the single-run front end.
+    if argv and argv[0] == "serve":
+        from .serve.cli import serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "submit":
+        from .serve.cli import submit_main
+
+        return submit_main(argv[1:])
     args = build_parser().parse_args(argv)
     problem_cls = PROBLEMS[args.problem]
     problem = (problem_cls(tuple(args.resolution)) if args.resolution

@@ -34,6 +34,7 @@ class DeviceArena:
         self.shapes: list[tuple[int, ...]] = []
         self._used = 0
         self._live = 0
+        self._uniform: bool | None = None
 
     def place(self, shape) -> "ArenaSlice":
         """Carve the next member off the slab as an :class:`ArenaSlice`."""
@@ -46,6 +47,7 @@ class DeviceArena:
         self.shapes.append(tuple(int(x) for x in shape))
         self._used += n
         self._live += 1
+        self._uniform = None
         return s
 
     def _release(self) -> None:
@@ -63,9 +65,13 @@ class DeviceArena:
     def uniform(self) -> bool:
         """True when every placed member has the same frame shape, so the
         slab admits a stacked (P, f0, f1) kernel view.  Ragged levels fall
-        back to the per-patch path."""
-        return bool(self.shapes) and all(s == self.shapes[0]
-                                         for s in self.shapes[1:])
+        back to the per-patch path.  Cached: membership only changes
+        through :meth:`place`, and the stacked transfer planner asks per
+        region."""
+        if self._uniform is None:
+            self._uniform = bool(self.shapes) and all(
+                s == self.shapes[0] for s in self.shapes[1:])
+        return self._uniform
 
     def stacked_view(self) -> np.ndarray:
         """The whole slab as one (P, f0, f1) kernel view, members on
@@ -87,6 +93,23 @@ class DeviceArena:
         g = int(ghosts)
         mask[:, g:mask.shape[1] - g, g:mask.shape[2] - g] = True
         return mask
+
+    # -- whole-slab host staging (restart fast path) ---------------------------
+
+    def to_host_slab(self) -> np.ndarray:
+        """One charged D2H copy of the entire slab, as a flat host array.
+
+        Member ``i`` occupies ``[offsets[i], offsets[i] + prod(shapes[i]))``
+        of the result — works for ragged arenas too, unlike
+        :meth:`stacked_view`.  The restart layer uses this to checkpoint a
+        whole (level, variable) arena in one PCIe transfer instead of one
+        per patch.
+        """
+        return self.device.to_host(self.slab)
+
+    def from_host_slab(self, host: np.ndarray) -> None:
+        """One charged H2D copy of a flat host array over the entire slab."""
+        self.device.memcpy_htod(self.slab, host)
 
 
 class ArenaSlice:

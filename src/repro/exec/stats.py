@@ -21,6 +21,7 @@ __all__ = [
     "OverlapCounter",
     "BatchCounter",
     "SlabCounter",
+    "StackCounter",
     "ExecStats",
     "combined_stats",
     "kernel_category",
@@ -89,6 +90,25 @@ class SlabCounter:
 
 
 @dataclass
+class StackCounter:
+    """Accounting for stacked batched region copies (halo pack/copy path).
+
+    ``copy_batch``/``pack_batch``/``unpack_batch`` group regions whose
+    operands tile uniform arenas at identical frame offsets and execute
+    each group as one fancy-indexed NumPy op over the stacked slab
+    instead of a per-region Python loop.  ``stacked`` counts regions
+    covered by such groups, ``groups`` the stacked ops issued, and
+    ``fallback`` the regions that replayed the per-region loop (non-arena
+    operands, ragged arenas, or singleton groups).
+    """
+
+    calls: int = 0
+    stacked: int = 0
+    groups: int = 0
+    fallback: int = 0
+
+
+@dataclass
 class OverlapCounter:
     """Accounting for stream-overlapped transfers (paper §VI).
 
@@ -120,6 +140,7 @@ class ExecStats:
         self.streams: dict[str, StreamCounter] = {}
         self.batches: dict[str, BatchCounter] = {}
         self.slab: dict[str, SlabCounter] = {}
+        self.stacked: dict[str, StackCounter] = {}
         self.overlap = OverlapCounter()
         #: per copy-lane high-water mark of virtual time already charged as
         #: exposed, so overlapping waits (an event wait and the later
@@ -162,6 +183,14 @@ class ExecStats:
         else:
             c.fallback += 1
 
+    def record_stack(self, name: str, stacked: int, groups: int,
+                     fallback: int) -> None:
+        c = self.stacked.setdefault(name, StackCounter())
+        c.calls += 1
+        c.stacked += int(stacked)
+        c.groups += int(groups)
+        c.fallback += int(fallback)
+
     def record_exposed_wait(self, lane: str, before: float, after: float,
                             cap: float | None = None) -> None:
         """Charge a wait on a copy-lane timeline as exposed transfer time.
@@ -191,6 +220,7 @@ class ExecStats:
         self.streams.clear()
         self.batches.clear()
         self.slab.clear()
+        self.stacked.clear()
         self.overlap = OverlapCounter()
         self._exposed_hwm.clear()
 
@@ -220,6 +250,12 @@ class ExecStats:
         for key, c in other.slab.items():
             mine = self.slab.setdefault(key, SlabCounter())
             mine.fused += c.fused
+            mine.fallback += c.fallback
+        for key, c in other.stacked.items():
+            mine = self.stacked.setdefault(key, StackCounter())
+            mine.calls += c.calls
+            mine.stacked += c.stacked
+            mine.groups += c.groups
             mine.fallback += c.fallback
         self.overlap.async_seconds += other.overlap.async_seconds
         self.overlap.exposed_seconds += other.overlap.exposed_seconds
@@ -344,6 +380,17 @@ def attribution_report(stats: ExecStats,
             f"launch fusion   : launches {launches} covering {members} "
             f"member kernels  patches_per_launch {members / launches:.1f}  "
             f"launch_overhead_saved {saved:.6f}s")
+
+    if stats.stacked:
+        krows = [
+            [name, str(c.calls), str(c.stacked), str(c.groups),
+             str(c.fallback)]
+            for name, c in sorted(stats.stacked.items())
+        ]
+        lines.append("")
+        lines += _table("stacked region copies (batched halo path)",
+                        ["kernel", "calls", "stacked_regions", "stacked_ops",
+                         "fallback_regions"], krows)
 
     if stats.slab:
         srows = [

@@ -110,6 +110,13 @@ class MemoryPool:
         self.cached_bytes = 0
         self.hits = 0
         self.misses = 0
+        #: bytes currently leased out via :meth:`acquire`
+        self.leased_bytes = 0
+        #: high-water mark of :attr:`leased_bytes` plus reservations
+        self.peak_leased_bytes = 0
+        #: bytes promised to callers via :meth:`try_reserve` but not yet
+        #: backed by real buffers — the serve layer's admission ledger
+        self.reserved_bytes = 0
 
     def acquire(self, shape, dtype=np.float64) -> PooledArray:
         """Lease an array; reuses a cached buffer when shapes match.
@@ -134,15 +141,58 @@ class MemoryPool:
             darr = _HostBlock(shape, dtype=dtype)
             self.misses += 1
         darr._poison()
+        self.leased_bytes += darr.nbytes
+        self.peak_leased_bytes = max(
+            self.peak_leased_bytes, self.leased_bytes + self.reserved_bytes)
         return PooledArray(self, darr)
 
     def _give_back(self, darr) -> None:
+        self.leased_bytes -= darr.nbytes
         if self.cached_bytes + darr.nbytes > self.max_bytes:
             darr.free()
             return
         key = (darr.shape, darr.dtype.str)
         self._free[key].append(darr)
         self.cached_bytes += darr.nbytes
+
+    # -- capacity accounting (admission control) -------------------------------
+
+    @property
+    def committed_bytes(self) -> int:
+        """Bytes spoken for: live leases plus outstanding reservations."""
+        return self.leased_bytes + self.reserved_bytes
+
+    @property
+    def available_bytes(self) -> int:
+        """Capacity headroom against :attr:`max_bytes`."""
+        return max(0, self.max_bytes - self.committed_bytes)
+
+    def try_reserve(self, nbytes: int) -> bool:
+        """Reserve capacity without backing it by a real buffer.
+
+        The serve layer admits a job onto a device only when its
+        estimated footprint reserves successfully; the reservation is a
+        pure ledger entry (no host memory is touched), released with
+        :meth:`release_reservation` when the job leaves the device.
+        """
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError(f"cannot reserve {nbytes} bytes")
+        if self.committed_bytes + nbytes > self.max_bytes:
+            return False
+        self.reserved_bytes += nbytes
+        self.peak_leased_bytes = max(
+            self.peak_leased_bytes, self.committed_bytes)
+        return True
+
+    def release_reservation(self, nbytes: int) -> None:
+        """Return capacity taken by :meth:`try_reserve`."""
+        nbytes = int(nbytes)
+        if nbytes > self.reserved_bytes:
+            raise ValueError(
+                f"releasing {nbytes} reserved bytes but only "
+                f"{self.reserved_bytes} outstanding")
+        self.reserved_bytes -= nbytes
 
     def trim(self) -> int:
         """Free every cached buffer; returns bytes released."""

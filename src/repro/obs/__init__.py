@@ -26,6 +26,7 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    ScopedRegistry,
     registry_for_rank,
     registry_from_run,
     run_manifest,
@@ -62,6 +63,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ScopedRegistry",
     "registry_for_rank",
     "registry_from_run",
     "run_manifest",

@@ -25,6 +25,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ScopedRegistry",
     "registry_for_rank",
     "registry_from_run",
     "run_manifest",
@@ -129,6 +130,19 @@ class MetricsRegistry:
             h = self._histograms[key] = Histogram()
         return h
 
+    # -- namespacing -----------------------------------------------------------
+
+    def scoped(self, **labels) -> "ScopedRegistry":
+        """A facade stamping these labels onto every instrument it names.
+
+        This is how multi-tenant consumers (``repro.serve``) keep one
+        shared registry while each tenant's counters stay separable:
+        ``reg.scoped(tenant="alice").counter("jobs.completed")`` is the
+        same instrument as ``reg.counter("jobs.completed",
+        tenant="alice")``.
+        """
+        return ScopedRegistry(self, labels)
+
     # -- aggregation -----------------------------------------------------------
 
     def merge(self, other: "MetricsRegistry") -> None:
@@ -177,6 +191,32 @@ class MetricsRegistry:
         }
 
 
+class ScopedRegistry:
+    """A label-stamping view of a :class:`MetricsRegistry`.
+
+    Same counter/gauge/histogram API; every instrument it creates lives
+    in the underlying registry with the scope's labels merged in (call
+    labels win on collision), so per-tenant views merge and snapshot
+    through the shared registry unchanged.
+    """
+
+    def __init__(self, registry: MetricsRegistry, labels: dict):
+        self._registry = registry
+        self._labels = dict(labels)
+
+    def scoped(self, **labels) -> "ScopedRegistry":
+        return ScopedRegistry(self._registry, {**self._labels, **labels})
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._registry.counter(name, **{**self._labels, **labels})
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._registry.gauge(name, **{**self._labels, **labels})
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._registry.histogram(name, **{**self._labels, **labels})
+
+
 # -- adapters over the existing accounting surfaces ---------------------------
 
 
@@ -204,6 +244,10 @@ def registry_for_rank(rank) -> MetricsRegistry:
     for kernel, c in stats.slab.items():
         reg.counter("slab_fused", kernel=kernel).inc(c.fused)
         reg.counter("slab_fallback", kernel=kernel).inc(c.fallback)
+    for kernel, c in stats.stacked.items():
+        reg.counter("stack.regions", kernel=kernel).inc(c.stacked)
+        reg.counter("stack.ops", kernel=kernel).inc(c.groups)
+        reg.counter("stack.fallback_regions", kernel=kernel).inc(c.fallback)
     if stats.overlap.async_seconds:
         reg.counter("overlap.async_seconds").inc(stats.overlap.async_seconds)
         reg.counter("overlap.exposed_seconds").inc(stats.overlap.exposed_seconds)

@@ -43,6 +43,7 @@ class HostArena:
         self.offsets: list[int] = []
         self.shapes: list[tuple[int, ...]] = []
         self._used = 0
+        self._uniform: bool | None = None
 
     def place(self, shape) -> np.ndarray:
         """Carve the next member off the slab as a shaped view."""
@@ -54,6 +55,7 @@ class HostArena:
         self.offsets.append(self._used)
         self.shapes.append(tuple(int(s) for s in shape))
         self._used += n
+        self._uniform = None
         return view
 
     # -- whole-slab access (--kernels slab) ------------------------------------
@@ -66,9 +68,13 @@ class HostArena:
     def uniform(self) -> bool:
         """True when every placed member has the same frame shape, so the
         slab admits a stacked (P, f0, f1) view.  Ragged levels (mixed
-        patch sizes) are non-uniform and fall back to the per-patch path."""
-        return bool(self.shapes) and all(s == self.shapes[0]
-                                         for s in self.shapes[1:])
+        patch sizes) are non-uniform and fall back to the per-patch path.
+        Cached: membership only changes through :meth:`place`, and the
+        stacked transfer planner asks per region."""
+        if self._uniform is None:
+            self._uniform = bool(self.shapes) and all(
+                s == self.shapes[0] for s in self.shapes[1:])
+        return self._uniform
 
     def stacked_view(self) -> np.ndarray:
         """The whole slab as one (P, f0, f1) array, members on axis 0.

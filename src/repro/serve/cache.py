@@ -1,0 +1,53 @@
+"""Cross-run snapshot cache: identical queued jobs skip rebuild work.
+
+``initialise`` — gridding, initial regrid, first fill — is identical for
+every job whose init-scope :func:`~repro.api.fingerprint` matches (the
+backend is excluded: it changes modelled time, never bits).  The first
+job with a given fingerprint checkpoints its post-initialise state; later
+twins restore from that snapshot instead of re-initialising, which the
+restart layer guarantees is bitwise-identical.  The cache also remembers
+the observed device footprint per fingerprint so admission control can
+replace the static estimate with measured truth.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PlanCache"]
+
+
+class PlanCache:
+    """Fingerprint-keyed post-initialise snapshots and footprints."""
+
+    def __init__(self, max_entries: int = 8):
+        self.max_entries = int(max_entries)
+        self._snapshots: dict[str, dict] = {}
+        self._bytes: dict[str, int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def snapshot(self, key: str) -> dict | None:
+        """The cached post-initialise restart db, or None.
+
+        The db is shared read-only between jobs: restore copies out of
+        it and never mutates it.
+        """
+        db = self._snapshots.get(key)
+        if db is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return db
+
+    def store_snapshot(self, key: str, db: dict) -> None:
+        if key not in self._snapshots and len(self._snapshots) >= self.max_entries:
+            # drop the oldest entry (dicts preserve insertion order)
+            self._snapshots.pop(next(iter(self._snapshots)))
+        self._snapshots[key] = db
+
+    def observed_bytes(self, key: str) -> int | None:
+        """Measured whole-job device footprint for this fingerprint."""
+        return self._bytes.get(key)
+
+    def store_observed_bytes(self, key: str, nbytes: int) -> None:
+        prev = self._bytes.get(key, 0)
+        self._bytes[key] = max(prev, int(nbytes))

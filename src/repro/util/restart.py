@@ -4,12 +4,16 @@ SAMRAI's restart database is the model: every ``PatchData`` implements
 ``put_to_restart``/``get_from_restart`` (paper Fig. 2), and the hierarchy
 records its box structure.  Checkpoints are plain nested dicts, so they
 can be kept in memory for tests or written with ``numpy.savez`` for real
-runs.  GPU-resident data is staged through the host (one D2H per field at
-checkpoint, one H2D at restore — charged like any other transfer).
+runs.  GPU-resident data is staged through the host, charged like any
+other transfer: one D2H per field at checkpoint and one H2D at restore in
+the per-patch build, but under ``--batch`` each (level, variable) device
+arena moves as a *single* slab transfer and the per-field hooks read and
+write staged host segments instead (same database either way).
 """
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -20,6 +24,53 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["checkpoint", "restore", "save_npz", "load_npz"]
 
 FORMAT_VERSION = 1
+
+
+def _stage_member(pd, arena, host: np.ndarray) -> None:
+    """Point ``pd`` at its segment of the arena's flat host slab."""
+    i = pd._arena_index
+    off = arena.offsets[i]
+    shape = arena.shapes[i]
+    pd._restart_stage = host[off:off + math.prod(shape)].reshape(shape)
+
+
+def _stage_device_arenas(level, fetch: bool):
+    """Install host staging views for every device-arena-backed field.
+
+    With ``fetch`` each distinct arena is copied down in one charged D2H
+    slab transfer (checkpoint); without it an empty host slab is staged
+    per arena for ``get_from_restart`` to fill (restore).  Returns
+    ``(staged_pds, arenas)`` where ``arenas`` maps ``id(arena)`` to
+    ``(arena, host_slab)``; fields whose storage is not an arena member
+    (host builds, per-patch device builds) are left alone and keep the
+    per-field transfer path.
+    """
+    from ..check.context import seam_scope
+
+    staged: list = []
+    arenas: dict[int, tuple] = {}
+    for patch in level:
+        for name in patch.data_names():
+            pd = patch.data(name)
+            arena = getattr(pd, "_arena", None)
+            if arena is None or not hasattr(arena, "to_host_slab"):
+                continue
+            entry = arenas.get(id(arena))
+            if entry is None:
+                if fetch:
+                    with seam_scope():
+                        host = arena.to_host_slab()
+                else:
+                    host = np.empty(arena.slab.size, dtype=arena.slab.dtype)
+                entry = arenas[id(arena)] = (arena, host)
+            _stage_member(pd, arena, entry[1])
+            staged.append(pd)
+    return staged, arenas
+
+
+def _unstage(staged) -> None:
+    for pd in staged:
+        pd._restart_stage = None
 
 
 def checkpoint(sim: "LagrangianEulerianIntegrator") -> dict:
@@ -38,13 +89,17 @@ def checkpoint(sim: "LagrangianEulerianIntegrator") -> dict:
             "owners": [p.owner for p in level],
             "patches": [],
         }
-        for patch in level:
-            patch_db: dict = {}
-            for name in patch.data_names():
-                field_db: dict = {}
-                patch.data(name).put_to_restart(field_db)
-                patch_db[name] = field_db
-            level_db["patches"].append(patch_db)
+        staged, _ = _stage_device_arenas(level, fetch=True)
+        try:
+            for patch in level:
+                patch_db: dict = {}
+                for name in patch.data_names():
+                    field_db: dict = {}
+                    patch.data(name).put_to_restart(field_db)
+                    patch_db[name] = field_db
+                level_db["patches"].append(patch_db)
+        finally:
+            _unstage(staged)
         db["levels"].append(level_db)
     return db
 
@@ -67,9 +122,18 @@ def restore(sim: "LagrangianEulerianIntegrator", db: dict) -> None:
             level_db["level_number"], boxes, level_db["owners"]
         )
         level.allocate_all(sim.variables, sim.factory, sim.comm)
-        for patch, patch_db in zip(level, level_db["patches"]):
-            for name, field_db in patch_db.items():
-                patch.data(name).get_from_restart(field_db)
+        staged, arenas = _stage_device_arenas(level, fetch=False)
+        try:
+            for patch, patch_db in zip(level, level_db["patches"]):
+                for name, field_db in patch_db.items():
+                    patch.data(name).get_from_restart(field_db)
+            from ..check.context import seam_scope
+
+            for arena, host in arenas.values():
+                with seam_scope():
+                    arena.from_host_slab(host)
+        finally:
+            _unstage(staged)
         sim.hierarchy.set_level(level)
     sim.time = db["time"]
     sim.step_count = db["step_count"]

@@ -10,6 +10,13 @@ pass) lives in the owning :mod:`repro.exec` backend.
 
 An *item* is ``(patch_data, region_box)``; a batch is a list of items
 whose regions are packed back-to-back in order.
+
+Under ``--batch`` the backends additionally collapse the per-region
+Python loop inside these primitives: regions whose operands tile uniform
+arenas at identical frame offsets execute as one stacked (fancy-indexed)
+NumPy op per group, with a per-region fallback for everything else —
+bitwise identical either way, counted as ``StackCounter`` in
+:class:`~repro.exec.stats.ExecStats` (``--profile`` shows the split).
 """
 
 from __future__ import annotations

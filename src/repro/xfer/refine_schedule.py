@@ -302,9 +302,21 @@ class RefineSchedule:
                 else:
                     entry = remote.setdefault((id(src), id(dst)), (src, dst, []))
                     entry[2].append((name, region))
-        for dst, items in local.values():
-            copy_batch_local(items, ranks[dst.owner])
-            if chk is not None and not self.interior:
+        if self.batch:
+            # One fused copy launch per owning rank for the whole level:
+            # arena-backed regions then collapse to stacked slab ops in
+            # the backend (bitwise identical — destinations are disjoint;
+            # modelled launch count drops, as for every --batch fusion).
+            by_owner: dict[int, list] = {}
+            for dst, items in local.values():
+                by_owner.setdefault(dst.owner, []).extend(items)
+            for owner, items in by_owner.items():
+                copy_batch_local(items, ranks[owner])
+        else:
+            for dst, items in local.values():
+                copy_batch_local(items, ranks[dst.owner])
+        if chk is not None and not self.interior:
+            for _dst, items in local.values():
                 for dst_pd, src_pd, _ in items:
                     chk.stamp(dst_pd, (src_pd,))
         for src, dst, named in remote.values():

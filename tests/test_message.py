@@ -120,3 +120,102 @@ class TestLocalCopyBatch:
         assert device.stats.launches_by_name["pdat.copy"] == k0 + 1
         full = dst.to_host()
         assert full[2, 2] == 3.0 and full[9, 5] == 3.0 and full[5, 5] == 0.0
+
+
+def _host_arena_row(nboxes, fill=None, seed=None):
+    """Arena-backed CellData members in a row of same-shape boxes."""
+    from repro.pdat.arena import HostArena
+
+    boxes = [Box([i * 8, 0], [i * 8 + 7, 7]) for i in range(nboxes)]
+    arena = HostArena(nboxes * 12 * 12)
+    pds = []
+    rng = np.random.default_rng(seed) if seed is not None else None
+    for i, b in enumerate(boxes):
+        pd = CellData(b, 2, buffer=arena.place((12, 12)))
+        pd._arena = arena
+        pd._arena_index = i
+        if rng is not None:
+            pd.data.array[...] = rng.random(pd.data.array.shape)
+        elif fill is not None:
+            pd.data.array.fill(fill)
+        pds.append(pd)
+    return arena, pds
+
+
+class TestStackedCopies:
+    """Uniform-arena batches collapse to one stacked op per group."""
+
+    def test_host_stacked_copy_matches_per_region(self, comm):
+        _, srcs = _host_arena_row(3, seed=7)
+        _, dsts = _host_arena_row(3, fill=0.0)
+        rank = comm.rank(0)
+        items = [(d, s, d.box) for d, s in zip(dsts, srcs)]
+        copy_batch_local(items, rank)
+        for d, s in zip(dsts, srcs):
+            assert np.array_equal(d.view(d.box), s.view(s.box))
+        sc = rank.exec_stats.stacked["pdat.copy"]
+        assert sc.stacked == 3 and sc.groups == 1 and sc.fallback == 0
+
+    def test_ragged_regions_fall_back_per_region(self, comm):
+        _, srcs = _host_arena_row(3, seed=11)
+        _, dsts = _host_arena_row(3, fill=0.0)
+        rank = comm.rank(0)
+        # Different relative regions per member: no group forms.
+        items = [(dsts[0], srcs[0], Box([0, 0], [3, 3])),
+                 (dsts[1], srcs[1], Box([9, 2], [13, 5])),
+                 (dsts[2], srcs[2], Box([16, 4], [23, 7]))]
+        copy_batch_local(items, rank)
+        for d, s, region in [(dsts[i], srcs[i], items[i][2])
+                             for i in range(3)]:
+            assert np.array_equal(d.view(region), s.view(region))
+        sc = rank.exec_stats.stacked["pdat.copy"]
+        assert sc.stacked == 0 and sc.fallback == 3
+
+    def test_standalone_data_records_nothing(self, comm):
+        a = CellData(BOX, 2, fill=1.0)
+        dst = CellData(BOX, 2, fill=0.0)
+        rank = comm.rank(0)
+        copy_batch_local([(dst, a, Box([0, 0], [3, 7]))], rank)
+        assert "pdat.copy" not in rank.exec_stats.stacked
+
+    def test_host_stacked_pack_unpack_roundtrip(self, comm):
+        _, srcs = _host_arena_row(4, seed=3)
+        _, dsts = _host_arena_row(4, fill=0.0)
+        rank = comm.rank(0)
+        items_src = [(s, s.box) for s in srcs]
+        buffer = pack_batch(items_src, rank)
+        expected = np.concatenate(
+            [s.view(s.box).ravel() for s in srcs])
+        assert np.array_equal(buffer, expected)
+        unpack_batch(buffer, [(d, d.box) for d in dsts], rank)
+        for d, s in zip(dsts, srcs):
+            assert np.array_equal(d.view(d.box), s.view(s.box))
+        sc = rank.exec_stats.stacked["pdat.pack"]
+        assert sc.stacked == 4 and sc.fallback == 0
+        su = rank.exec_stats.stacked["pdat.unpack"]
+        assert su.stacked == 4 and su.fallback == 0
+
+    def test_device_stacked_pack_single_launch_and_transfer(self, comm):
+        from repro.cupdat.arena import DeviceArena
+
+        rank = comm.rank(0)
+        device = rank.device
+        arena = DeviceArena(device, 3 * 12 * 12)
+        pds = []
+        rng = np.random.default_rng(5)
+        for i in range(3):
+            b = Box([i * 8, 0], [i * 8 + 7, 7])
+            pd = CudaCellData(b, 2, device, darr=arena.place((12, 12)))
+            pd._arena = arena
+            pd._arena_index = i
+            host = rng.random((12, 12))
+            pd.data.from_host_array(host)
+            pds.append((pd, host))
+        k0 = device.stats.launches_by_name.get("pdat.pack", 0)
+        buffer = pack_batch([(pd, pd.box) for pd, _ in pds], rank)
+        assert device.stats.launches_by_name["pdat.pack"] == k0 + 1
+        expected = np.concatenate(
+            [host[2:-2, 2:-2].ravel() for _, host in pds])
+        assert np.array_equal(buffer, expected)
+        sc = rank.exec_stats.stacked["pdat.pack"]
+        assert sc.stacked == 3 and sc.fallback == 0

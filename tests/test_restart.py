@@ -111,3 +111,93 @@ class TestNpzRoundtrip:
         path = str(tmp_path / "c.npz")
         save_npz(db, path)
         assert load_npz(path)["dt"] is None
+
+
+def make_arena_sim(gpus=True):
+    comm = make_communicator("IPA", 1, gpus=gpus)
+    sim = LagrangianEulerianIntegrator(
+        SodProblem((24, 24)), comm,
+        CudaDataFactory(arena=True) if gpus else HostDataFactory(arena=True),
+        SimulationConfig(max_levels=2, max_patch_size=8, batch_launches=True))
+    sim.initialise()
+    return sim
+
+
+class TestArenaSlabPath:
+    """Device-arena builds checkpoint/restore one slab per arena."""
+
+    def _arena_count(self, sim):
+        arenas = set()
+        for level in sim.hierarchy:
+            for patch in level:
+                for name in patch.data_names():
+                    arena = getattr(patch.data(name), "_arena", None)
+                    if arena is not None:
+                        arenas.add(id(arena))
+        return len(arenas)
+
+    def test_checkpoint_is_one_transfer_per_arena(self):
+        sim = make_arena_sim(gpus=True)
+        sim.run(max_steps=2)
+        rank = sim.comm.ranks[0]
+        before = rank.exec_stats.transfers["d2h"].count
+        checkpoint(sim)
+        taken = rank.exec_stats.transfers["d2h"].count - before
+        assert taken == self._arena_count(sim)
+
+    def test_staging_views_are_cleared(self):
+        sim = make_arena_sim(gpus=True)
+        sim.run(max_steps=1)
+        checkpoint(sim)
+        for level in sim.hierarchy:
+            for patch in level:
+                for name in patch.data_names():
+                    assert getattr(patch.data(name), "_restart_stage",
+                                   None) is None
+
+    def test_arena_db_matches_per_patch_db(self):
+        """Slab-staged arrays are byte-identical to per-field transfers."""
+        arena_sim = make_arena_sim(gpus=True)
+        plain_comm = make_communicator("IPA", 1, gpus=True)
+        plain_sim = LagrangianEulerianIntegrator(
+            SodProblem((24, 24)), plain_comm, CudaDataFactory(),
+            SimulationConfig(max_levels=2, max_patch_size=8))
+        plain_sim.initialise()
+        arena_sim.run(max_steps=3)
+        plain_sim.run(max_steps=3)
+        db_a = checkpoint(arena_sim)
+        db_p = checkpoint(plain_sim)
+        for la, lp in zip(db_a["levels"], db_p["levels"]):
+            assert la["boxes"] == lp["boxes"]
+            for pa, pp in zip(la["patches"], lp["patches"]):
+                for name in pa:
+                    assert np.array_equal(pa[name]["array"],
+                                          pp[name]["array"]), name
+
+    def test_restore_is_one_transfer_per_arena(self):
+        src = make_arena_sim(gpus=True)
+        src.run(max_steps=2)
+        db = checkpoint(src)
+        dst = make_arena_sim(gpus=True)
+        rank = dst.comm.ranks[0]
+        before = rank.exec_stats.transfers["h2d"].count
+        restore(dst, db)
+        taken = rank.exec_stats.transfers["h2d"].count - before
+        assert taken == self._arena_count(dst)
+
+    def test_arena_continued_run_matches_straight(self):
+        straight = make_arena_sim(gpus=True)
+        straight.run(max_steps=8)
+        first = make_arena_sim(gpus=True)
+        first.run(max_steps=4)
+        db = checkpoint(first)
+        resumed = make_arena_sim(gpus=True)
+        restore(resumed, db)
+        resumed.run(max_steps=8)
+        assert resumed.time == straight.time
+        for lvl in range(2):
+            assert np.array_equal(
+                gather_level_field(straight.hierarchy.level(lvl), "density0",
+                                   fill=0.0),
+                gather_level_field(resumed.hierarchy.level(lvl), "density0",
+                                   fill=0.0))
