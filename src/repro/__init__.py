@@ -20,7 +20,7 @@ Quick start::
     sim.run(max_steps=20)
 """
 
-from .comm.simcomm import Message, Rank, SimCommunicator
+from .comm.simcomm import Message, Rank, SimCommunicator, make_communicator
 from .exec import (
     Backend,
     ExecStats,
@@ -73,18 +73,3 @@ __all__ = [
     "NonResidentDeviceBackend", "backend_for",
     "ExecStats", "combined_stats", "attribution_report",
 ]
-
-
-def make_communicator(machine: "str | Machine" = "IPA", nranks: int = 1,
-                      gpus: bool = True) -> SimCommunicator:
-    """Build a communicator for a named machine model ("IPA" or "Titan").
-
-    One rank drives one GPU (the paper's MPI+CUDA decomposition); with
-    ``gpus=False`` each rank is one full CPU node.
-    """
-    if isinstance(machine, str):
-        machine = {"IPA": IPA, "TITAN": TITAN}[machine.upper()]
-    return SimCommunicator(
-        nranks, machine.cpu, machine.interconnect,
-        machine.gpu if gpus else None,
-    )

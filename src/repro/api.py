@@ -22,7 +22,7 @@ import time as _time
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 
-from . import make_communicator
+from .comm.simcomm import make_communicator
 from .hydro.integrator import LagrangianEulerianIntegrator, SimulationConfig
 from .hydro.patch_integrator import (
     CleverleafPatchIntegrator,

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import warnings
 
-# samrcheck: ok — this shim is the one sanctioned re-export of repro.api
 from .api import (
     ObservabilityConfig,
     RunConfig,

@@ -32,29 +32,38 @@ dynamic checker can only observe at runtime:
   ``comm``, …) from serve code couples the service to layers whose
   contract is owned by ``repro.api``.
 
-A violating line can be waived with a ``# samrcheck: ok`` comment, which
-is itself greppable.  Exit status is the number of violations (0 = clean).
+A violating line can be waived with a ``# samrcheck: ok(rule): reason``
+comment (the legacy bare ``# samrcheck: ok`` waives any rule on the
+line); waivers are greppable and audited by :mod:`repro.check.static`,
+which reports unused waivers and waivers without a reason.  Exit status
+is the number of violations (0 = clean).
+
+Running this module directly is deprecated — ``repro check --lint`` (or
+``python -m repro.check.static --lint``) is the unified entry point.
 """
 
 from __future__ import annotations
 
 import ast
+import re
 import sys
 from pathlib import Path
 
-__all__ = ["lint_file", "lint_paths", "main", "Violation"]
+from .layers import SERVE_ALLOWED, ImportResolver, module_name_for, repo_root_of
+
+__all__ = [
+    "lint_file", "lint_file_full", "lint_paths", "main", "Violation",
+    "parse_waiver", "SERVE_ALLOWED",
+]
 
 #: directories (relative to the ``repro`` package root) allowed to touch
 #: patch-data storage internals
 SEAM_DIRS = frozenset({"exec", "pdat", "cupdat", "gpu", "check"})
 #: directories allowed to handle raw device memory
 DEVICE_DIRS = frozenset({"gpu", "exec", "cupdat", "check"})
-#: packages the serve layer may import from — everything else (the
-#: simulation internals: hydro, mesh, exec, xfer, comm, ...) must be
-#: reached through the ``repro.api`` facade
-SERVE_ALLOWED = frozenset({
-    "api", "obs", "util", "gpu", "check", "perf", "serve",
-})
+# SERVE_ALLOWED (packages the serve layer may import) now lives in
+# repro.check.layers with the rest of the layering table; re-exported
+# here for compatibility.
 
 _STORAGE_ATTRS = frozenset({
     "array", "view", "full_view", "frame", "darr", "device",
@@ -74,6 +83,36 @@ _DISPATCH_CALLS = frozenset({
 })
 
 WAIVER = "samrcheck: ok"
+
+#: matches the waiver comment forms ``samrcheck: ok`` and
+#: ``samrcheck: ok(rule1,rule2): reason`` (the legacy em-dash
+#: separator ``ok — reason`` is accepted too)
+_WAIVER_RE = re.compile(
+    r"#\s*samrcheck:\s*ok"
+    r"(?:\((?P<rules>[^)]*)\))?"
+    r"\s*(?:[:—–-]+\s*(?P<reason>\S.*))?"
+)
+
+
+def parse_waiver(line: str):
+    """Parse a waiver comment on ``line``.
+
+    Returns ``None`` when the line carries no waiver, else
+    ``(rules, reason)`` where ``rules`` is a frozenset of rule names
+    the waiver is scoped to (``None`` = any rule) and ``reason`` is the
+    stated justification (``None`` when missing — which
+    :mod:`repro.check.static` reports as ``waiver-reason``).
+    """
+    m = _WAIVER_RE.search(line)
+    if m is None:
+        return None
+    raw_rules = m.group("rules")
+    rules = None
+    if raw_rules:
+        rules = frozenset(r.strip() for r in raw_rules.split(",")
+                          if r.strip()) or None
+    reason = (m.group("reason") or "").strip() or None
+    return rules, reason
 
 
 class Violation:
@@ -106,13 +145,27 @@ class _Linter(ast.NodeVisitor):
         self.lines = lines
         self.pkg = _package_dir(path)
         self.violations: list[Violation] = []
+        #: line numbers whose waiver actually suppressed a violation —
+        #: repro.check.static uses this to report stale waivers
+        self.used_waivers: set[int] = set()
+        self._modname = module_name_for(path)
+        self._resolver = (ImportResolver(repo_root_of(path.parent))
+                          if self.pkg == "serve" and self._modname
+                          else None)
 
-    def _waived(self, node) -> bool:
+    def _waived(self, node, rule) -> bool:
         line = self.lines[node.lineno - 1] if node.lineno <= len(self.lines) else ""
-        return WAIVER in line
+        waiver = parse_waiver(line)
+        if waiver is None:
+            return False
+        rules, _reason = waiver
+        if rules is None or rule in rules:
+            self.used_waivers.add(node.lineno)
+            return True
+        return False
 
     def _flag(self, node, rule, message):
-        if not self._waived(node):
+        if not self._waived(node, rule):
             self.violations.append(
                 Violation(self.path, node.lineno, rule, message))
 
@@ -182,11 +235,7 @@ class _Linter(ast.NodeVisitor):
                     self._flag(node, "api",
                                "import of deprecated 'repro.app' outside the "
                                "repro package — use the 'repro.api' facade")
-        if self.pkg == "serve":
-            for alias in node.names:
-                if alias.name == "repro" or alias.name.startswith("repro."):
-                    self._check_serve_target(
-                        node, alias.name.split(".")[1:])
+        self._check_serve_imports(node)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom):
@@ -195,20 +244,19 @@ class _Linter(ast.NodeVisitor):
                 self._flag(node, "api",
                            "import from deprecated 'repro.app' outside the "
                            "repro package — use the 'repro.api' facade")
-        if self.pkg == "serve":
-            parts = node.module.split(".") if node.module else []
-            if node.level >= 2:
-                # ``from ..xxx import`` resolves against the repro root
-                self._check_serve_target(node, parts)
-            elif node.level == 0 and parts[:1] == ["repro"]:
-                self._check_serve_target(node, parts[1:])
-            # node.level == 1 is a serve-internal sibling: always fine
+        self._check_serve_imports(node)
         self.generic_visit(node)
 
-    def _check_serve_target(self, node, parts: list[str]) -> None:
-        """``parts`` is the dotted path below the ``repro`` root."""
-        top = parts[0] if parts else ""
-        if top not in SERVE_ALLOWED:
+    def _check_serve_imports(self, node) -> None:
+        """Resolve a serve-layer import (aliases, relative forms, and
+        ``__init__`` re-exports included) and flag disallowed targets."""
+        if self._resolver is None:
+            return
+        for target in self._resolver.resolve(node, self._modname):
+            parts = target.split(".")
+            top = parts[1] if len(parts) > 1 else ""
+            if top in SERVE_ALLOWED:
+                continue
             what = f"repro.{top}" if top else "the repro package root"
             self._flag(node, "serve",
                        f"serve-layer import of {what} — the service may "
@@ -258,15 +306,20 @@ class _Linter(ast.NodeVisitor):
                        "declaration")
 
 
-def lint_file(path: Path) -> list[Violation]:
+def lint_file_full(path: Path) -> tuple[list[Violation], set[int]]:
+    """Violations plus the line numbers whose waivers were exercised."""
     source = path.read_text()
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as e:
-        return [Violation(path, e.lineno or 0, "parse", str(e))]
+        return [Violation(path, e.lineno or 0, "parse", str(e))], set()
     linter = _Linter(path, source.splitlines())
     linter.visit(tree)
-    return linter.violations
+    return linter.violations, linter.used_waivers
+
+
+def lint_file(path: Path) -> list[Violation]:
+    return lint_file_full(path)[0]
 
 
 def lint_paths(paths) -> list[Violation]:
@@ -295,4 +348,7 @@ def main(argv=None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    print("note: 'python -m repro.check.lint' is deprecated; use "
+          "'repro check --lint' (python -m repro.check.static --lint)",
+          file=sys.stderr)
     sys.exit(main())

@@ -4,6 +4,11 @@ Runs a CleverLeaf simulation from command-line options (the moral
 equivalent of CloverLeaf's ``clover.in`` input deck) and prints the field
 summary and runtime breakdown; optionally writes VTK dumps and a restart
 checkpoint.
+
+Subcommands: ``repro serve`` / ``repro submit`` (the multi-tenant run
+service) and ``repro check`` (static analysis: seam lint, declared-access
+effect checking against kernel ASTs, module layering — see
+``repro check --help``).
 """
 
 from __future__ import annotations
@@ -89,6 +94,10 @@ def main(argv=None) -> int:
         from .serve.cli import submit_main
 
         return submit_main(argv[1:])
+    if argv and argv[0] == "check":
+        from .check.static import check_main
+
+        return check_main(argv[1:])
     args = build_parser().parse_args(argv)
     problem_cls = PROBLEMS[args.problem]
     problem = (problem_cls(tuple(args.resolution)) if args.resolution

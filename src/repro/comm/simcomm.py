@@ -19,11 +19,12 @@ from ..gpu.device import Device, DeviceSpec
 from ..obs.context import active_tracer
 from ..obs.lanes import HOST, NET
 from ..gpu.kernel import KernelSpec, kernel_spec
-from ..perf.machines import CpuSpec, NetworkSpec
+from ..perf.machines import IPA, TITAN, CpuSpec, Machine, NetworkSpec
 from ..util.clock import VirtualClock
 from ..util.timer import TimerRegistry
 
-__all__ = ["Rank", "SimCommunicator", "Message", "SendHandle"]
+__all__ = ["Rank", "SimCommunicator", "Message", "SendHandle",
+           "make_communicator"]
 
 
 @dataclass
@@ -276,3 +277,18 @@ class SimCommunicator:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"SimCommunicator(size={self.size}, net={self.network.name!r})"
+
+
+def make_communicator(machine: "str | Machine" = "IPA", nranks: int = 1,
+                      gpus: bool = True) -> SimCommunicator:
+    """Build a communicator for a named machine model ("IPA" or "Titan").
+
+    One rank drives one GPU (the paper's MPI+CUDA decomposition); with
+    ``gpus=False`` each rank is one full CPU node.
+    """
+    if isinstance(machine, str):
+        machine = {"IPA": IPA, "TITAN": TITAN}[machine.upper()]
+    return SimCommunicator(
+        nranks, machine.cpu, machine.interconnect,
+        machine.gpu if gpus else None,
+    )

@@ -257,7 +257,8 @@ class CleverleafPatchIntegrator:
                   nx, ny, g, dx, dy)
 
         self._run(patch, rank, "hydro.pdv", nx * ny, body,
-                  reads=names, writes=("density1", "energy1"),
+                  reads=("density0", "energy0") + names[4:],
+                  writes=("density1", "energy1"),
                   slab=self._slab(patch, names,
                                   ("pdv", predict, dt, nx, ny, g, dx, dy),
                                   slab_fn))
@@ -320,7 +321,7 @@ class CleverleafPatchIntegrator:
 
         # The body hands out both mass-flux arrays; only the swept
         # direction's is written, the other is declared a (vacuous) read.
-        self._run(patch, rank, "hydro.advec_cell", nx * ny, body,
+        self._run(patch, rank, "hydro.advec_cell", nx * ny, body,  # samrcheck: ok(decl-over-read): sanitizer handout needs the unswept mass flux declared even though the kernel never loads it
                   reads=names[:4] + (("mass_flux_y",) if direction == 0
                                      else ("mass_flux_x",)),
                   writes=("density1", "energy1", "mass_flux_x" if direction == 0

@@ -142,7 +142,7 @@ class StepScheduler:
         dt_tasks: list[tuple[int, object]] = []
         with self._sink(gb):
             for level in it.hierarchy:
-                for patch in level:  # samrcheck: ok — emits tasks, builder fuses
+                for patch in level:  # samrcheck: ok(slab): emits tasks only, the builder fuses them
                     rank = it.comm.rank(patch.owner)
                     t = pi.calc_dt(patch, rank)
                     if t is not None:

@@ -12,8 +12,6 @@ from __future__ import annotations
 import os
 from typing import TYPE_CHECKING, Iterable
 
-from ..hydro.diagnostics import host_interior
-
 if TYPE_CHECKING:  # pragma: no cover
     from ..hydro.integrator import LagrangianEulerianIntegrator
     from ..mesh.patch import Patch
@@ -28,6 +26,10 @@ def write_patch_vtk(patch: "Patch", path: str,
                     cell_fields: Iterable[str] = DEFAULT_CELL_FIELDS,
                     node_fields: Iterable[str] = DEFAULT_NODE_FIELDS) -> None:
     """Write one patch as a legacy-VTK structured-points file."""
+    # lazy: util sits below the physics layer; importing hydro at module
+    # scope would invert the layering (repro.check.layers)
+    from ..hydro.diagnostics import host_interior
+
     level = patch.level
     dx, dy = level.dx
     nx, ny = (int(v) for v in patch.box.shape())
