@@ -116,33 +116,17 @@ def test_frequent_regrids_cost_more_regrid_time(regrid_sweep):
 
 
 @pytest.fixture(scope="module")
-def balancer_sweep(monkeypatch_module=None):
-    """Spatial (Morton) vs pure-LPT patch assignment at 8 ranks."""
-    import repro.regrid.load_balance as lb
-    from repro.mesh import patch_level  # noqa: F401 (import side effects none)
-
+def balancer_sweep():
+    """Spatial (Morton) vs pure-LPT patch assignment at 8 ranks, via the
+    first-class ``balance`` knob (``--balance {sfc,hilbert,lpt}``)."""
     out = {}
-    original = lb.assign_owners
-    for name, fn in (("morton", original), ("lpt", lb.assign_owners_lpt)):
-        lb.assign_owners = fn
-        # the integrator module holds its own reference; patch it too
-        import repro.hydro.integrator as integ
-        import repro.regrid.regridder as rgr
-        integ.assign_owners = fn
-        rgr.assign_owners = fn
-        try:
-            res = run_point(max_patch=32)
-            cfg = RunConfig(
-                problem=SodProblem((RES, RES)), machine="IPA", nranks=8,
-                use_gpu=True, max_levels=2, max_patch_size=32,
-                max_steps=QUICK_STEPS,
-            )
-            res = run(cfg)
-            out[name] = res.runtime
-        finally:
-            lb.assign_owners = original
-            integ.assign_owners = original
-            rgr.assign_owners = original
+    for name, balance in (("morton", "sfc"), ("lpt", "lpt")):
+        cfg = RunConfig(
+            problem=SodProblem((RES, RES)), machine="IPA", nranks=8,
+            use_gpu=True, max_levels=2, max_patch_size=32,
+            max_steps=QUICK_STEPS, balance=balance,
+        )
+        out[name] = run(cfg).runtime
     return out
 
 

@@ -28,6 +28,17 @@ from _report import FULL, emit, table
 # 4,096 nodes would be a 22M-cell mesh — the model scales, the laptop
 # does not.
 NODES = [1, 4, 16, 64] + ([256, 1024] if FULL else [])
+
+#: schema of the metrics block in BENCH_fig11_weak.json (bumped when the
+#: regrid-fraction sweep was added alongside the grind-time sweep)
+FIG11_SCHEMA = "repro.bench.fig11/2"
+
+#: the regrid-fraction sweep reaches 1,024 virtual ranks by default: a
+#: much smaller per-node block than the grind sweep keeps the largest
+#: point to ~a minute of wall time
+REGRID_NODES = [16, 64, 256, 1024]
+REGRID_BLOCK = (8, 12)
+REGRID_STEPS = 2
 #: per-node coarse block; nodes are arranged along x only, so that both
 #: the coarse block AND the refinement front (whose dominant component is
 #: the horizontal y=1.5 interface, O(nx) cells) contribute a constant
@@ -56,6 +67,49 @@ def run_point(nodes: int):
         max_steps=STEPS,
     )
     return run(cfg)
+
+
+def run_regrid_point(nodes: int, incremental: bool):
+    """One point of the regrid-fraction sweep: quiescent flags (dt capped
+    to ~0), regrid every step — the steady-state regime that isolates the
+    *regrid machinery's* scaling from the solution's motion.  The
+    replicated clustering work grows with the global tag count (the
+    triple-point front is O(nx)), so the from-scratch path's regrid
+    fraction climbs with node count; the tag-diff path replaces it with a
+    bitmap compare."""
+    res = (REGRID_BLOCK[0] * nodes, REGRID_BLOCK[1])
+    cfg = RunConfig(
+        problem=TriplePointProblem(res),
+        machine="Titan",
+        nranks=nodes,
+        use_gpu=True,
+        max_levels=2,
+        max_patch_size=24,
+        regrid_interval=1,
+        max_steps=REGRID_STEPS,
+        dt_max=1e-9,
+        regrid_incremental=incremental,
+    )
+    out = run(cfg)
+    t = out.timers
+    total = sum(t.get(k, 0.0) for k in ("hydro", "timestep", "sync", "regrid"))
+    advanced = (out.cells / nodes) * out.steps
+    totals = out.sim.regridder.totals
+    return {
+        "nodes": nodes,
+        "regrid_grind": t.get("regrid", 0.0) / advanced,
+        "regrid_frac": t.get("regrid", 0.0) / total,
+        "reclustered": totals.levels_reclustered,
+        "reused": totals.levels_reused,
+    }
+
+
+@pytest.fixture(scope="module")
+def regrid_sweep():
+    return {
+        inc: [run_regrid_point(n, inc) for n in REGRID_NODES]
+        for inc in (False, True)
+    }
 
 
 #: end-of-run metrics manifest of the largest point, for the JSON
@@ -116,7 +170,63 @@ def test_fig11_table(sweep, benchmark):
          config={"problem": "triple_point", "machine": "Titan",
                  "nodes": NODES, "block": list(BLOCK), "levels": 3,
                  "steps": STEPS},
-         metrics={"sweep": sweep}, manifest=MANIFEST)
+         metrics={"schema": FIG11_SCHEMA, "sweep": sweep},
+         manifest=MANIFEST)
+
+
+def test_fig11_regrid_fraction_table(regrid_sweep, benchmark):
+    def render():
+        rows = []
+        for scratch, inc in zip(regrid_sweep[False], regrid_sweep[True]):
+            rows.append([
+                scratch["nodes"],
+                f"{scratch['regrid_frac']:.1%}", f"{inc['regrid_frac']:.1%}",
+                f"{scratch['regrid_grind']:.3e}",
+                f"{inc['regrid_grind']:.3e}",
+                scratch["reclustered"], inc["reclustered"],
+            ])
+        return table(
+            f"Regrid fraction vs virtual rank count (triple point, "
+            f"quiescent flags, regrid every step, {REGRID_STEPS} steps)",
+            ["ranks", "frac scratch", "frac incr",
+             "grind scratch", "grind incr",
+             "recluster scratch", "recluster incr"],
+            rows,
+        )
+    lines = benchmark(render)
+    s0, s1 = regrid_sweep[False][0], regrid_sweep[False][-1]
+    i0, i1 = regrid_sweep[True][0], regrid_sweep[True][-1]
+    lines.append("")
+    lines.append(
+        f"regrid grind growth {REGRID_NODES[0]} -> {REGRID_NODES[-1]} "
+        f"ranks: from-scratch {s1['regrid_grind'] / s0['regrid_grind']:.2f}x, "
+        f"incremental {i1['regrid_grind'] / i0['regrid_grind']:.2f}x")
+    emit("fig11_regrid_fraction", lines,
+         config={"problem": "triple_point", "machine": "Titan",
+                 "nodes": REGRID_NODES, "block": list(REGRID_BLOCK),
+                 "levels": 2, "steps": REGRID_STEPS, "dt_max": 1e-9},
+         metrics={"schema": FIG11_SCHEMA,
+                  "scratch": regrid_sweep[False],
+                  "incremental": regrid_sweep[True]})
+
+
+def test_regrid_fraction_sublinear_vs_scratch(regrid_sweep):
+    """The acceptance gate: at 1,024 virtual ranks the incremental path's
+    regrid cost sits below the from-scratch path and grows more slowly
+    with rank count."""
+    scratch, inc = regrid_sweep[False], regrid_sweep[True]
+    assert inc[-1]["regrid_frac"] < scratch[-1]["regrid_frac"]
+    assert inc[-1]["regrid_grind"] < scratch[-1]["regrid_grind"]
+    growth_scratch = scratch[-1]["regrid_grind"] / scratch[0]["regrid_grind"]
+    growth_inc = inc[-1]["regrid_grind"] / inc[0]["regrid_grind"]
+    assert growth_inc < growth_scratch
+
+
+def test_regrid_sweep_reuses_at_scale(regrid_sweep):
+    for point in regrid_sweep[True]:
+        assert point["reused"] > 0
+    for point in regrid_sweep[False]:
+        assert point["reused"] == 0
 
 
 def test_hydro_dominates_everywhere(sweep):

@@ -105,6 +105,10 @@ class RunConfig:
     refinement_ratio: int = 2
     max_patch_size: int = 64
     regrid_interval: int = 5
+    regrid_incremental: bool = False  # tag-diff reuse + kept-level fast
+                                      # path; changes time, not bits
+    balance: str = "sfc"           # "sfc" | "hilbert" | "lpt" distribution
+    dt_max: float | None = None    # cap the global dt (quiescent-flag runs)
     max_steps: int | None = None
     end_time: float | None = None
     use_scheduler: bool = False    # timesteps as task graphs (repro.sched)
@@ -128,11 +132,13 @@ class RunConfig:
         kernels = self.kernels
         if kernels is None:
             kernels = "slab" if self.batch_launches else "patch"
-        return SimulationConfig(
+        sim_cfg = SimulationConfig(
             max_levels=self.max_levels,
             refinement_ratio=self.refinement_ratio,
             max_patch_size=self.max_patch_size,
-            regrid=RegridConfig(regrid_interval=self.regrid_interval),
+            regrid=RegridConfig(regrid_interval=self.regrid_interval,
+                                incremental=self.regrid_incremental,
+                                balance=self.balance),
             gamma=self.problem.gamma,
             use_scheduler=self.use_scheduler,
             overlap=self.overlap,
@@ -140,6 +146,9 @@ class RunConfig:
             batch_launches=self.batch_launches,
             kernels=kernels,
         )
+        if self.dt_max is not None:
+            sim_cfg.dt_max = self.dt_max
+        return sim_cfg
 
 
 @dataclass
@@ -390,9 +399,12 @@ def fingerprint(cfg: RunConfig, *, full: bool = False) -> str:
         ("refinement_ratio", cfg.refinement_ratio),
         ("max_patch_size", cfg.max_patch_size),
         ("regrid_interval", cfg.regrid_interval),
+        ("balance", cfg.balance),
     ]
     if full:
         key += [
+            ("regrid_incremental", cfg.regrid_incremental),
+            ("dt_max", cfg.dt_max),
             ("machine", cfg.machine),
             ("use_gpu", cfg.use_gpu),
             ("resident", cfg.resident),

@@ -39,6 +39,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--levels", type=int, default=3, help="max AMR levels")
     p.add_argument("--max-patch", type=int, default=64)
     p.add_argument("--regrid-interval", type=int, default=5)
+    p.add_argument("--regrid-incremental", action="store_true",
+                   help="incremental regrid: reuse clustered boxes when a "
+                        "level's buffered tag bitmap is unchanged, keep "
+                        "levels whose boxes+owners did not move, and serve "
+                        "transfer schedules from the (src,dst)-keyed cache "
+                        "(bitwise identical; changes time only)")
+    p.add_argument("--balance", choices=["sfc", "hilbert", "lpt"],
+                   default="sfc",
+                   help="distribution map: 'sfc' splits the Morton curve "
+                        "into contiguous weight-balanced segments (falls "
+                        "back to LPT when imbalance exceeds the threshold), "
+                        "'hilbert' uses a Hilbert curve, 'lpt' is pure "
+                        "longest-processing-time greedy")
     p.add_argument("--steps", type=int, default=None)
     p.add_argument("--end-time", type=float, default=None)
     p.add_argument("--scheduler", action="store_true",
@@ -116,6 +129,8 @@ def main(argv=None) -> int:
         max_levels=args.levels,
         max_patch_size=args.max_patch,
         regrid_interval=args.regrid_interval,
+        regrid_incremental=args.regrid_incremental,
+        balance=args.balance,
         max_steps=args.steps if args.steps is not None else (
             None if args.end_time is not None else 20),
         end_time=args.end_time,

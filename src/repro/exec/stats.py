@@ -22,6 +22,7 @@ __all__ = [
     "BatchCounter",
     "SlabCounter",
     "StackCounter",
+    "ScheduleCounter",
     "ExecStats",
     "combined_stats",
     "kernel_category",
@@ -109,6 +110,21 @@ class StackCounter:
 
 
 @dataclass
+class ScheduleCounter:
+    """Transfer-schedule cache lookups of one kind (fill / coarsen / …).
+
+    A hit replays a previously built schedule (the levels involved are
+    unchanged since it was built); a miss rebuilds it — the host-side
+    patch-pair intersection walk incremental regrid avoids for untouched
+    levels.  Recorded once globally (on rank 0), since schedule
+    construction is replicated host work, not per-rank work.
+    """
+
+    hits: int = 0
+    misses: int = 0
+
+
+@dataclass
 class OverlapCounter:
     """Accounting for stream-overlapped transfers (paper §VI).
 
@@ -141,6 +157,7 @@ class ExecStats:
         self.batches: dict[str, BatchCounter] = {}
         self.slab: dict[str, SlabCounter] = {}
         self.stacked: dict[str, StackCounter] = {}
+        self.schedules: dict[str, ScheduleCounter] = {}
         self.overlap = OverlapCounter()
         #: per copy-lane high-water mark of virtual time already charged as
         #: exposed, so overlapping waits (an event wait and the later
@@ -191,6 +208,13 @@ class ExecStats:
         c.groups += int(groups)
         c.fallback += int(fallback)
 
+    def record_schedule(self, kind: str, hit: bool) -> None:
+        c = self.schedules.setdefault(kind, ScheduleCounter())
+        if hit:
+            c.hits += 1
+        else:
+            c.misses += 1
+
     def record_exposed_wait(self, lane: str, before: float, after: float,
                             cap: float | None = None) -> None:
         """Charge a wait on a copy-lane timeline as exposed transfer time.
@@ -221,6 +245,7 @@ class ExecStats:
         self.batches.clear()
         self.slab.clear()
         self.stacked.clear()
+        self.schedules.clear()
         self.overlap = OverlapCounter()
         self._exposed_hwm.clear()
 
@@ -257,6 +282,10 @@ class ExecStats:
             mine.stacked += c.stacked
             mine.groups += c.groups
             mine.fallback += c.fallback
+        for key, c in other.schedules.items():
+            mine = self.schedules.setdefault(key, ScheduleCounter())
+            mine.hits += c.hits
+            mine.misses += c.misses
         self.overlap.async_seconds += other.overlap.async_seconds
         self.overlap.exposed_seconds += other.overlap.exposed_seconds
 
@@ -405,6 +434,17 @@ def attribution_report(stats: ExecStats,
         lines.append(
             f"slab execution  : {fused} fused whole-slab launches, "
             f"{fallback} per-patch fallbacks")
+
+    if stats.schedules:
+        crows = [
+            [kind, str(c.hits), str(c.misses),
+             f"{c.hits / (c.hits + c.misses):.1%}" if c.hits + c.misses else "-"]
+            for kind, c in sorted(stats.schedules.items())
+        ]
+        lines.append("")
+        lines += _table("schedule cache (xfer)",
+                        ["kind", "hits", "misses(rebuilds)", "hit rate"],
+                        crows)
 
     by_cat: dict[str, float] = {}
     for (_, name), c in stats.kernels.items():

@@ -36,6 +36,7 @@ from ..regrid.load_balance import assign_owners, chop_boxes
 from ..regrid.regridder import RegridConfig, Regridder
 from ..xfer.coarsen_schedule import CoarsenSchedule, CoarsenSpec
 from ..xfer.refine_schedule import FillSpec, RefineSchedule
+from ..xfer.schedule_cache import ScheduleCache, level_token
 from .boundary import ReflectiveBoundary
 from .fields import FIELD_GROUPS, PRIMARY_FIELDS, declare_fields
 from .patch_integrator import CleverleafPatchIntegrator
@@ -128,18 +129,21 @@ class LagrangianEulerianIntegrator:
         self.hierarchy = PatchHierarchy(
             self.geometry, self.config.max_levels, self.config.refinement_ratio
         )
+        #: (src, dst)-keyed schedule cache: survives regrids, entries for
+        #: untouched levels stay valid (hit/miss counters on rank 0's
+        #: ExecStats feed --profile and the metrics manifest)
+        self.schedule_cache = ScheduleCache()
+        self.schedule_cache.exec_stats = comm.ranks[0].exec_stats
         self.regridder = Regridder(
             self.hierarchy, comm, factory, self.variables,
             self._specs_for(PRIMARY_FIELDS), self.boundary, self.config.regrid,
+            schedule_cache=self.schedule_cache,
         )
         self._refine_ops = {
             "cell": CellConservativeLinearRefine(),
             "node": NodeLinearRefine(),
             "side": SideConservativeLinearRefine(),
         }
-        self._fill_schedules: dict = {}
-        self._coarsen_schedules: dict = {}
-        self._geometry_cache: dict = {}
         self.time = 0.0
         self.step_count = 0
         self.dt = None
@@ -200,7 +204,9 @@ class LagrangianEulerianIntegrator:
         boxes = chop_boxes(
             [self.geometry.domain_box], self.config.max_patch_size
         )
-        owners = assign_owners(boxes, self.comm.size)
+        owners = assign_owners(
+            boxes, self.comm.size, method=self.config.regrid.balance,
+            imbalance_threshold=self.config.regrid.imbalance_threshold)
         level0 = self.hierarchy.make_level(0, boxes, owners)
         level0.allocate_all(self.variables, self.factory, self.comm)
         self.hierarchy.set_level(level0)
@@ -228,27 +234,35 @@ class LagrangianEulerianIntegrator:
     # -- halo fills -----------------------------------------------------------------
 
     def _invalidate_schedules(self) -> None:
-        self._fill_schedules.clear()
-        self._coarsen_schedules.clear()
-        self._geometry_cache.clear()
+        """Selective invalidation: drop only schedules touching changed levels.
+
+        The cache validates level-object identity, so entries for levels
+        the regrid rebuilt (new objects) can never be replayed; this
+        purge just reclaims them.  Entries whose levels were *kept* by an
+        incremental regrid — and level 0's, which regrid never touches —
+        survive and keep serving hits.
+        """
+        self.schedule_cache.purge(self.hierarchy)
 
     def _fill_schedule_for(self, level, names) -> RefineSchedule:
         """The cached ghost-fill schedule for one (level, name group)."""
-        key = (level.level_number, tuple(names))
-        sched = self._fill_schedules.get(key)
+        names = tuple(names)
+        coarse = (
+            self.hierarchy.level(level.level_number - 1)
+            if level.level_number > 0 else None
+        )
+        ghosts = tuple(self.variables[n].ghosts for n in names)
+        key = (level_token(level), level_token(coarse), names, ghosts)
+        sched = self.schedule_cache.get("fill", key, (level, coarse))
         if sched is None:
-            coarse = (
-                self.hierarchy.level(level.level_number - 1)
-                if level.level_number > 0 else None
-            )
             sched = RefineSchedule(
                 level, coarse, self._specs_for(names), self.comm,
                 self.factory, boundary=self.boundary,
-                geometry_cache=self._geometry_cache,
+                geometry_cache=self.schedule_cache.geometry_cache,
                 batch=self.config.batch_launches,
                 slab=self.config.kernels == "slab",
             )
-            self._fill_schedules[key] = sched
+            self.schedule_cache.put("fill", key, (level, coarse), sched)
         return sched
 
     def _fill_group_level(self, level, names) -> None:
@@ -439,7 +453,10 @@ class LagrangianEulerianIntegrator:
 
     def _coarsen_schedule_for(self, fine_num: int) -> CoarsenSchedule:
         """The cached fine-to-coarse sync schedule below ``fine_num``."""
-        sched = self._coarsen_schedules.get(fine_num)
+        fine = self.hierarchy.level(fine_num)
+        coarse = self.hierarchy.level(fine_num - 1)
+        key = (level_token(fine), level_token(coarse))
+        sched = self.schedule_cache.get("coarsen", key, (fine, coarse))
         if sched is None:
             specs = [
                 # Energy first: its mass weight is the *pre-sync* fine
@@ -452,13 +469,12 @@ class LagrangianEulerianIntegrator:
                 CoarsenSpec(self.variables["yvel0"], NodeInjectionCoarsen()),
             ]
             sched = CoarsenSchedule(
-                self.hierarchy.level(fine_num),
-                self.hierarchy.level(fine_num - 1),
+                fine, coarse,
                 specs, self.comm, self.factory,
                 batch=self.config.batch_launches,
                 slab=self.config.kernels == "slab",
             )
-            self._coarsen_schedules[fine_num] = sched
+            self.schedule_cache.put("coarsen", key, (fine, coarse), sched)
         return sched
 
     def _synchronise(self) -> None:

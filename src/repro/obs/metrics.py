@@ -248,6 +248,9 @@ def registry_for_rank(rank) -> MetricsRegistry:
         reg.counter("stack.regions", kernel=kernel).inc(c.stacked)
         reg.counter("stack.ops", kernel=kernel).inc(c.groups)
         reg.counter("stack.fallback_regions", kernel=kernel).inc(c.fallback)
+    for kind, c in stats.schedules.items():
+        reg.counter("schedule_cache.hits", kind=kind).inc(c.hits)
+        reg.counter("schedule_cache.misses", kind=kind).inc(c.misses)
     if stats.overlap.async_seconds:
         reg.counter("overlap.async_seconds").inc(stats.overlap.async_seconds)
         reg.counter("overlap.exposed_seconds").inc(stats.overlap.exposed_seconds)
@@ -268,6 +271,17 @@ def registry_from_run(sim) -> MetricsRegistry:
     if sched is not None:
         for name, value in sched.executor.counters.items():
             reg.counter(f"sched.{name}").inc(value)
+    regridder = getattr(sim, "regridder", None)
+    if regridder is not None and regridder.totals.regrids:
+        t = regridder.totals
+        reg.counter("regrid.regrids").inc(t.regrids)
+        reg.counter("regrid.levels_reclustered").inc(t.levels_reclustered)
+        reg.counter("regrid.levels_reused").inc(t.levels_reused)
+        reg.counter("regrid.levels_rebuilt").inc(t.levels_rebuilt)
+        reg.counter("regrid.levels_kept").inc(t.levels_kept)
+        reg.counter("regrid.tag_readbacks").inc(t.tag_readbacks)
+        for phase, secs in t.phase_seconds.items():
+            reg.counter("regrid.phase_seconds", phase=phase).inc(secs)
     return reg
 
 

@@ -23,7 +23,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..comm.simcomm import Rank
     from ..mesh.patch import Patch
 
-__all__ = ["TagThresholds", "compute_tags", "flag_patch", "pack_tags", "unpack_tags"]
+__all__ = ["TagThresholds", "compute_tags", "flag_patch", "flag_patch_deferred",
+           "pack_tags", "unpack_tags"]
 
 
 @dataclass(frozen=True)
@@ -73,6 +74,30 @@ def flag_patch(patch: "Patch", rank: "Rank", thresholds: TagThresholds) -> np.nd
     tags?" transfer → (only if tagged) D2H of the compressed bits.  The
     returned array is always host-side, as SAMRAI's clustering needs it.
     """
+    tags, packed_nbytes, resident, backend = flag_patch_deferred(
+        patch, rank, thresholds)
+    if not resident:
+        return tags
+    # "tagged" flag for the patch crosses the bus first; untagged patches
+    # skip the bit-array transfer (re-creating all-zeros on the host is free).
+    backend.charge_transfer("d2h", 4)
+    if packed_nbytes:
+        backend.charge_transfer("d2h", packed_nbytes)
+    return tags
+
+
+def flag_patch_deferred(patch: "Patch", rank: "Rank",
+                        thresholds: TagThresholds):
+    """Tag one patch, *deferring* the D2H accounting to the caller.
+
+    Runs the tag kernel and, on resident data, the on-device bit
+    compression — but charges no PCIe transfer, so the regridder can fuse
+    a whole level's compressed bitfields into one readback per rank
+    instead of a per-patch latency chain.  Returns ``(tags, packed_nbytes,
+    resident, backend)``: ``tags`` is always the host-side bool array,
+    ``packed_nbytes`` the compressed payload this patch contributes to
+    the fused transfer (0 when untagged or host-resident).
+    """
     nx, ny = (int(v) for v in patch.box.shape())
     g = GHOSTS
     pd = patch.data("density0")
@@ -87,14 +112,10 @@ def flag_patch(patch: "Patch", rank: "Rank", thresholds: TagThresholds) -> np.nd
     tags = backend.run("regrid.tag", nx * ny, tag_body,
                        reads=pds, ghost_reads=pds)
     if not is_resident(pd):
-        return tags
+        return tags, 0, False, backend
 
     packed = backend.run("regrid.tag_compress", nx * ny, pack_tags, tags,
                          reads=())
-    # "tagged" flag for the patch crosses the bus first; untagged patches
-    # skip the bit-array transfer (re-creating all-zeros on the host is free).
-    backend.charge_transfer("d2h", 4)
     if not tags.any():
-        return np.zeros((nx, ny), dtype=bool)
-    backend.charge_transfer("d2h", packed.nbytes)
-    return unpack_tags(packed, (nx, ny))
+        return np.zeros((nx, ny), dtype=bool), 0, True, backend
+    return unpack_tags(packed, (nx, ny)), packed.nbytes, True, backend

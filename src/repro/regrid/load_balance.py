@@ -2,18 +2,18 @@
 
 Cluster boxes can be arbitrarily large; before distribution they are
 chopped so no patch exceeds the configured maximum extent (which also
-bounds per-patch GPU memory), then assigned to ranks by greedy
-longest-processing-time binning on cell count — the patch is the paper's
+bounds per-patch GPU memory), then assigned to ranks along a
+space-filling curve (:mod:`repro.regrid.sfc`) — the patch is the paper's
 "basic unit of work" shared between processes (§II).
 """
 
 from __future__ import annotations
 
-import heapq
-
 from ..mesh.box import Box
+from .sfc import assign_owners_lpt, imbalance, morton_key, partition
 
-__all__ = ["chop_box", "chop_boxes", "assign_owners", "imbalance"]
+__all__ = ["chop_box", "chop_boxes", "assign_owners", "assign_owners_lpt",
+           "imbalance"]
 
 
 def chop_box(box: Box, max_size: int) -> list[Box]:
@@ -53,64 +53,23 @@ def chop_boxes(boxes: list[Box], max_size: int) -> list[Box]:
     return out
 
 
-def assign_owners_lpt(boxes: list[Box], nranks: int) -> list[int]:
-    """Greedy LPT: largest patches first onto the least-loaded rank.
-
-    Optimal for balance, oblivious to locality — neighbouring patches
-    scatter across ranks and every halo exchange crosses the network.
-    Kept for the load-balance ablation; production assignment is
-    :func:`assign_owners`.
-    """
-    order = sorted(range(len(boxes)), key=lambda i: -boxes[i].size())
-    owners = [0] * len(boxes)
-    heap = [(0, r) for r in range(nranks)]
-    heapq.heapify(heap)
-    for i in order:
-        load, r = heapq.heappop(heap)
-        owners[i] = r
-        heapq.heappush(heap, (load + boxes[i].size(), r))
-    return owners
-
-
 def _morton_key(box: Box) -> int:
     """Morton (Z-order) code of the box centre, for locality ordering."""
-    cx = (box.lower[0] + box.upper[0]) // 2 + (1 << 20)
-    cy = (box.lower[1] + box.upper[1]) // 2 + (1 << 20)
-    code = 0
-    for bit in range(21):
-        code |= ((cx >> bit) & 1) << (2 * bit)
-        code |= ((cy >> bit) & 1) << (2 * bit + 1)
-    return code
+    return morton_key(box)
 
 
-def assign_owners(boxes: list[Box], nranks: int) -> list[int]:
+def assign_owners(boxes: list[Box], nranks: int, method: str = "sfc",
+                  imbalance_threshold: float | None = None) -> list[int]:
     """Space-filling-curve partition: balanced *and* spatially local.
 
-    Boxes are ordered along a Morton curve and cut into ``nranks``
-    contiguous chunks of roughly equal cell count, so neighbouring
-    patches usually share an owner and halo exchanges mostly stay
-    on-rank — the distribution strategy of production AMR balancers.
+    ``method`` selects the distribution map: ``"sfc"`` (Morton curve,
+    the default), ``"hilbert"`` (Hilbert curve), or ``"lpt"`` (greedy
+    longest-processing-time binning, locality-blind).  A non-None
+    ``imbalance_threshold`` arms the SFC→LPT fallback of
+    :func:`repro.regrid.sfc.partition`.
     """
-    if not boxes:
-        return []
-    order = sorted(range(len(boxes)), key=lambda i: _morton_key(boxes[i]))
-    total = sum(b.size() for b in boxes)
-    owners = [0] * len(boxes)
-    acc = 0
-    rank = 0
-    for i in order:
-        # Advance to the rank whose quota this box's midpoint falls in.
-        midpoint = acc + boxes[i].size() / 2
-        rank = min(int(midpoint * nranks / total), nranks - 1)
-        owners[i] = rank
-        acc += boxes[i].size()
-    return owners
-
-
-def imbalance(boxes: list[Box], owners: list[int], nranks: int) -> float:
-    """max/mean cell-count ratio across ranks (1.0 = perfect)."""
-    loads = [0] * nranks
-    for b, o in zip(boxes, owners):
-        loads[o] += b.size()
-    mean = sum(loads) / nranks
-    return max(loads) / mean if mean > 0 else 1.0
+    if method == "lpt":
+        return assign_owners_lpt(boxes, nranks)
+    curve = "hilbert" if method == "hilbert" else "morton"
+    return partition(boxes, nranks, curve=curve,
+                     imbalance_threshold=imbalance_threshold)

@@ -235,7 +235,10 @@ class RefineSchedule:
         by_geom: dict[int, list[FillSpec]] = {}
         for spec in specs:
             sig = signature_of(spec.var)
-            key = (id(dst_level), id(coarse_level), id(src_level), interior, sig)
+            # Keyed on the level *objects* (identity hash), not their ids:
+            # a persistent cache (xfer.schedule_cache) must pin the levels
+            # so a freed level's id can never be reused by a new one.
+            key = (dst_level, coarse_level, src_level, interior, sig)
             geom = cache.get(key)
             if geom is None:
                 geom = build_fill_geometry(

@@ -156,8 +156,12 @@ class TestRegriddingDuringRun:
     def test_schedules_rebuilt_after_regrid(self):
         sim = make_sim(max_levels=2)
         sim.run(max_steps=sim.config.regrid.regrid_interval)
-        assert sim._fill_schedules == {} or True  # cleared on regrid
+        # the regrid purged schedules touching rebuilt levels; stepping
+        # on rebuilds them without error
         sim.run(max_steps=sim.config.regrid.regrid_interval + 2)
+        stats = sim.comm.ranks[0].exec_stats.schedules
+        assert stats["fill"].misses > 0  # rebuilt after the regrid
+        assert stats["fill"].hits > 0    # and re-served from cache since
 
 
 class TestTimers:

@@ -161,3 +161,73 @@ class TestRefineCoarsenAdjoint:
         m.coarsen_node_injection(
             fine, fframe, back, Box([0, 0], [4, 4]), Box([0, 0], [4, 4]), r)
         assert np.array_equal(back, coarse[1:6, 1:6])
+
+
+def boxes_disjoint(a, b):
+    return any(a.upper[ax] < b.lower[ax] or b.upper[ax] < a.lower[ax]
+               for ax in range(2))
+
+
+class TestClusteringProperties:
+    """Hypothesis contracts for the regrid pipeline's pure pieces."""
+
+    @given(st.integers(0, 1000), st.integers(2, 5),
+           st.sampled_from([0.5, 0.7, 0.9]))
+    @settings(max_examples=30, deadline=None)
+    def test_cluster_cover_disjoint_efficiency(self, seed, min_size, eff):
+        rng = np.random.default_rng(seed)
+        npts = int(rng.integers(1, 80))
+        pts = np.unique(rng.integers(0, 48, size=(npts, 2)), axis=0)
+        boxes = cluster_tags(pts, min_efficiency=eff, min_size=min_size)
+        # cover: every tag in exactly one box
+        for p in pts:
+            assert sum(1 for b in boxes if b.contains(p)) == 1
+        # pairwise disjoint
+        for i, a in enumerate(boxes):
+            for b in boxes[i + 1:]:
+                assert boxes_disjoint(a, b)
+        # each box meets the efficiency target or is too small to split
+        for b in boxes:
+            tagged = sum(1 for p in pts if b.contains(p))
+            if tagged / b.size() < eff:
+                assert max(b.shape()) < 2 * min_size
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_cluster_permutation_invariant(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = np.unique(rng.integers(0, 32, size=(40, 2)), axis=0)
+        a = cluster_tags(pts, min_efficiency=0.7, min_size=2)
+        b = cluster_tags(rng.permutation(pts), min_efficiency=0.7,
+                         min_size=2)
+        key = lambda bx: (tuple(bx.lower), tuple(bx.upper))
+        assert sorted(a, key=key) == sorted(b, key=key)
+
+    @given(st.integers(1, 40), st.integers(1, 40), st.integers(1, 16))
+    @settings(max_examples=30, deadline=None)
+    def test_chop_box_tiles_partition(self, w, h, max_size):
+        from repro.regrid.load_balance import chop_box
+        box = Box([3, -2], [3 + w - 1, -2 + h - 1])
+        tiles = chop_box(box, max_size)
+        assert sum(t.size() for t in tiles) == box.size()
+        for i, a in enumerate(tiles):
+            assert max(a.shape()) <= max_size
+            assert box.contains(a.lower) and box.contains(a.upper)
+            for b in tiles[i + 1:]:
+                assert boxes_disjoint(a, b)
+
+    @given(st.integers(0, 1000), st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_assign_owners_partition_permutation_stable(self, seed, nranks):
+        """The box -> owner map is a function of the box *set*: shuffling
+        the caller's list must not move any box to a different rank."""
+        rng = np.random.default_rng(seed)
+        pts = np.unique(rng.integers(0, 48, size=(60, 2)), axis=0)
+        boxes = chop_boxes(cluster_tags(pts, 0.7, 2), 8)
+        for method in ("sfc", "hilbert"):
+            owners = assign_owners(boxes, nranks, method=method)
+            perm = rng.permutation(len(boxes))
+            shuffled = [boxes[i] for i in perm]
+            owners2 = assign_owners(shuffled, nranks, method=method)
+            assert all(owners2[j] == owners[perm[j]]
+                       for j in range(len(perm)))

@@ -115,3 +115,79 @@ class TestBuildGeometryDirect:
         lonely = hier.make_level(0, [Box([4, 4], [11, 11])], [0])
         with pytest.raises(ValueError):
             build_fill_geometry(lonely, None, signature_of(reg["a"]), lonely)
+
+
+class TestScheduleCache:
+    """The (src,dst)-keyed schedule cache used by integrator + regridder."""
+
+    def make(self):
+        from repro.xfer.schedule_cache import ScheduleCache, level_token
+        comm, hier, reg = world()
+        return ScheduleCache, level_token, comm, hier, reg
+
+    def test_miss_then_hit(self):
+        ScheduleCache, level_token, comm, hier, reg = self.make()
+        cache = ScheduleCache()
+        lvl = hier.level(0)
+        key = (level_token(lvl), None, ("a",), (2,))
+        assert cache.get("fill", key, (lvl, None)) is None
+        cache.put("fill", key, (lvl, None), "schedule")
+        assert cache.get("fill", key, (lvl, None)) == "schedule"
+        assert (cache.hits, cache.misses, cache.builds) == (1, 1, 1)
+
+    def test_structural_match_different_object_is_miss(self):
+        """A rebuilt level with identical layout must not replay the old
+        schedule — it holds freed patches."""
+        ScheduleCache, level_token, comm, hier, reg = self.make()
+        cache = ScheduleCache()
+        lvl = hier.level(0)
+        twin = hier.make_level(0, [p.box for p in lvl],
+                               [p.owner for p in lvl])
+        key = (level_token(lvl), None, ("a",), (2,))
+        assert level_token(twin) == level_token(lvl)
+        cache.put("fill", key, (lvl, None), "schedule")
+        assert cache.get("fill", key, (twin, None)) is None
+
+    def test_purge_drops_dead_keeps_live(self):
+        ScheduleCache, level_token, comm, hier, reg = self.make()
+        cache = ScheduleCache()
+        lvl = hier.level(0)
+        dead = hier.make_level(0, [p.box for p in lvl],
+                               [p.owner for p in lvl])  # never installed
+        cache.put("fill", ("k1",), (lvl, None), "live")
+        cache.put("fill", ("k2",), (dead, None), "dead")
+        dropped = cache.purge(hier)
+        assert dropped == 1
+        assert cache.purged == 1
+        assert len(cache) == 1
+        assert cache.get("fill", ("k1",), (lvl, None)) == "live"
+
+    def test_purge_drops_geometry_of_dead_levels(self):
+        ScheduleCache, level_token, comm, hier, reg = self.make()
+        cache = ScheduleCache()
+        lvl = hier.level(0)
+        dead = hier.make_level(0, [p.box for p in lvl],
+                               [p.owner for p in lvl])
+        cache.geometry_cache[(lvl, None, lvl, False, "sig")] = "live"
+        cache.geometry_cache[(dead, None, dead, False, "sig")] = "dead"
+        cache.purge(hier)
+        assert list(cache.geometry_cache.values()) == ["live"]
+
+    def test_counters_mirrored_into_exec_stats(self):
+        ScheduleCache, level_token, comm, hier, reg = self.make()
+        from repro.exec.stats import ExecStats
+        cache = ScheduleCache()
+        cache.exec_stats = ExecStats()
+        lvl = hier.level(0)
+        cache.get("fill", ("k",), (lvl,))
+        cache.put("fill", ("k",), (lvl,), "s")
+        cache.get("fill", ("k",), (lvl,))
+        c = cache.exec_stats.schedules["fill"]
+        assert (c.hits, c.misses) == (1, 1)
+
+    def test_level_token_distinguishes_owner_changes(self):
+        ScheduleCache, level_token, comm, hier, reg = self.make()
+        lvl = hier.level(0)
+        moved = hier.make_level(0, [p.box for p in lvl],
+                                [p.owner + 1 for p in lvl])
+        assert level_token(moved) != level_token(lvl)

@@ -1,0 +1,152 @@
+"""Tests for the space-filling-curve distribution maps (repro.regrid.sfc)."""
+
+import random
+
+import pytest
+
+from repro.mesh.box import Box
+from repro.regrid.load_balance import assign_owners, chop_boxes
+from repro.regrid.sfc import (
+    CURVES,
+    DEFAULT_IMBALANCE_THRESHOLD,
+    assign_owners_lpt,
+    curve_order,
+    hilbert_key,
+    imbalance,
+    morton_key,
+    partition,
+    split_curve,
+)
+
+
+def grid_boxes(n, size=8):
+    """An n x n grid of equal boxes."""
+    return [
+        Box([i * size, j * size], [(i + 1) * size - 1, (j + 1) * size - 1])
+        for i in range(n)
+        for j in range(n)
+    ]
+
+
+class TestKeys:
+    def test_morton_key_deterministic(self):
+        b = Box([4, 4], [11, 11])
+        assert morton_key(b) == morton_key(Box([4, 4], [11, 11]))
+
+    def test_distinct_centres_distinct_keys(self):
+        boxes = grid_boxes(4)
+        for key in (morton_key, hilbert_key):
+            keys = [key(b) for b in boxes]
+            assert len(set(keys)) == len(keys)
+
+    def test_hilbert_differs_from_morton(self):
+        # the two curves visit a 4x4 grid in different orders
+        boxes = grid_boxes(4)
+        assert ([morton_key(b) for b in boxes]
+                != [hilbert_key(b) for b in boxes])
+
+    def test_hilbert_order_is_adjacent(self):
+        """Consecutive boxes on the Hilbert curve are face neighbours —
+        the locality property Morton cannot give everywhere."""
+        boxes = grid_boxes(8, size=4)
+        ordered = [boxes[i] for i in curve_order(boxes, "hilbert")]
+        for a, b in zip(ordered, ordered[1:]):
+            dx = abs(a.lower[0] - b.lower[0]) // 4
+            dy = abs(a.lower[1] - b.lower[1]) // 4
+            assert dx + dy == 1, (a, b)
+
+    def test_unknown_curve_rejected(self):
+        with pytest.raises(KeyError):
+            curve_order(grid_boxes(2), "peano")
+        assert set(CURVES) == {"morton", "hilbert"}
+
+
+class TestSplitCurve:
+    def test_contiguous_cover(self):
+        boxes = grid_boxes(4)
+        owners = split_curve(boxes, 4)
+        assert sorted(set(owners)) == [0, 1, 2, 3]
+        # owners are monotone along the curve: contiguous segments
+        order = sorted(range(len(boxes)),
+                       key=lambda i: morton_key(boxes[i]))
+        seq = [owners[i] for i in order]
+        assert seq == sorted(seq)
+
+    def test_balanced_equal_weights(self):
+        boxes = grid_boxes(4)  # 16 equal boxes
+        owners = split_curve(boxes, 4)
+        assert imbalance(boxes, owners, 4) == pytest.approx(1.0)
+
+    def test_matches_legacy_assign_owners(self):
+        """split_curve IS the legacy morton partitioner, bit for bit."""
+        rng = random.Random(7)
+        for _ in range(10):
+            boxes = chop_boxes(
+                [Box([0, 0], [rng.randrange(16, 64), rng.randrange(16, 64)])],
+                max_size=rng.randrange(8, 24))
+            n = rng.randrange(1, 6)
+            assert split_curve(boxes, n) == assign_owners(boxes, n)
+
+    def test_permutation_stable(self):
+        boxes = grid_boxes(4)
+        owners = split_curve(boxes, 3)
+        perm = list(range(len(boxes)))
+        random.Random(3).shuffle(perm)
+        shuffled = [boxes[i] for i in perm]
+        owners2 = split_curve(shuffled, 3)
+        assert all(owners2[j] == owners[perm[j]] for j in range(len(perm)))
+
+
+class TestPartition:
+    def test_balanced_input_stays_on_curve(self):
+        boxes = grid_boxes(4)
+        assert partition(boxes, 4) == split_curve(boxes, 4)
+
+    def test_lpt_fallback_on_pathological_weights(self):
+        """One huge box early on the curve starves later ranks; the LPT
+        fallback must engage and beat the curve split."""
+        boxes = (
+            [Box([2 * i, 0], [2 * i + 1, 1]) for i in range(5)]
+            + [Box([10, 0], [19, 9])]          # giant mid-curve
+            + [Box([20 + 2 * i, 0], [21 + 2 * i, 1]) for i in range(5)]
+        )
+        sfc_owners = split_curve(boxes, 2)
+        sfc_imb = imbalance(boxes, sfc_owners, 2)
+        assert sfc_imb > DEFAULT_IMBALANCE_THRESHOLD
+        owners = partition(boxes, 2)
+        assert imbalance(boxes, owners, 2) < sfc_imb
+        assert owners == assign_owners_lpt(boxes, 2)
+
+    def test_imbalance_regression_gate(self):
+        """Randomised mixes must land under the configured threshold (or
+        be provably stuck: fewer boxes than ranks)."""
+        rng = random.Random(11)
+        for trial in range(20):
+            boxes = chop_boxes(
+                [Box([0, 0], [rng.randrange(24, 96), rng.randrange(24, 96)])],
+                max_size=rng.randrange(8, 32))
+            n = rng.randrange(1, 9)
+            owners = partition(boxes, n)
+            imb = imbalance(boxes, owners, n)
+            lpt_imb = imbalance(boxes, assign_owners_lpt(boxes, n), n)
+            # the gate: never worse than both the threshold and pure LPT
+            assert (imb <= DEFAULT_IMBALANCE_THRESHOLD
+                    or imb <= lpt_imb), (trial, imb, lpt_imb)
+
+    def test_no_fallback_when_lpt_not_better(self):
+        # 1 box over 2 ranks: imbalance 2.0 either way — keep legacy owners
+        boxes = [Box([0, 0], [7, 7])]
+        assert partition(boxes, 2) == split_curve(boxes, 2)
+
+
+class TestAssignOwnersFrontEnd:
+    def test_methods_dispatch(self):
+        boxes = grid_boxes(4)
+        assert assign_owners(boxes, 4, method="lpt") \
+            == assign_owners_lpt(boxes, 4)
+        hil = assign_owners(boxes, 4, method="hilbert")
+        assert sorted(set(hil)) == [0, 1, 2, 3]
+
+    def test_default_is_legacy_morton(self):
+        boxes = grid_boxes(3)
+        assert assign_owners(boxes, 2) == split_curve(boxes, 2)
