@@ -27,7 +27,7 @@ Two axes are measured here, on a patch-size sweep of a fixed Sod problem
 import numpy as np
 import pytest
 
-from repro.api import RunConfig, run
+from repro.api import ExecutionPolicy, RunConfig, run
 from repro.exec.stats import combined_stats
 from repro.hydro.diagnostics import gather_level_field
 from repro.hydro.problems import SodProblem
@@ -58,8 +58,8 @@ def run_point(max_patch: int, batch: bool, kernels: str | None = None):
         max_levels=2,
         max_patch_size=max_patch,
         max_steps=STEPS,
-        batch_launches=batch,
-        kernels=kernels,
+        execution=ExecutionPolicy(batch=batch,
+                                  kernels=kernels if kernels else "auto"),
     )
     return run(cfg)
 

@@ -12,7 +12,7 @@
 
 import pytest
 
-from repro.api import RunConfig, run
+from repro.api import RegridPolicy, RunConfig, run
 from repro.hydro.problems import SodProblem
 
 from _report import QUICK_STEPS, emit, table
@@ -28,7 +28,7 @@ def run_point(max_patch=RES, regrid_interval=5, steps=QUICK_STEPS):
         use_gpu=True,
         max_levels=2,
         max_patch_size=max_patch,
-        regrid_interval=regrid_interval,
+        regrid=RegridPolicy(interval=regrid_interval),
         max_steps=steps,
     )
     return run(cfg)
@@ -124,7 +124,7 @@ def balancer_sweep():
         cfg = RunConfig(
             problem=SodProblem((RES, RES)), machine="IPA", nranks=8,
             use_gpu=True, max_levels=2, max_patch_size=32,
-            max_steps=QUICK_STEPS, balance=balance,
+            max_steps=QUICK_STEPS, regrid=RegridPolicy(balance=balance),
         )
         out[name] = run(cfg).runtime
     return out

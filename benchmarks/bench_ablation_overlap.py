@@ -13,7 +13,7 @@ hiding the transfers changes modelled time only, never the solution.
 import numpy as np
 import pytest
 
-from repro.api import RunConfig, run
+from repro.api import ExecutionPolicy, RegridPolicy, RunConfig, run
 from repro.exec.stats import combined_stats
 from repro.hydro.diagnostics import gather_level_field
 from repro.hydro.problems import SodProblem
@@ -32,10 +32,9 @@ def run_case(overlap: bool):
         nranks=NRANKS,
         max_levels=2,
         max_patch_size=RESOLUTION[0] // 4,
-        regrid_interval=4,
+        regrid=RegridPolicy(interval=4),
         max_steps=STEPS,
-        use_scheduler=True,
-        overlap=overlap,
+        execution=ExecutionPolicy(scheduler=True, overlap=overlap),
     )
     return run(cfg)
 

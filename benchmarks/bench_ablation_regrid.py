@@ -18,7 +18,7 @@ on a realistic-dt run where flags drift every few steps.
 
 import pytest
 
-from repro.api import RunConfig, run
+from repro.api import RegridPolicy, RunConfig, run
 from repro.hydro.problems import SodProblem
 
 from _report import FULL, emit, table
@@ -35,10 +35,10 @@ def run_case(incremental: bool, quiescent: bool):
         use_gpu=True,
         max_levels=2,
         max_patch_size=16,
-        regrid_interval=1,          # regrid-heavy on purpose
+        regrid=RegridPolicy(interval=1,  # regrid-heavy on purpose
+                            incremental=incremental),
         max_steps=STEPS,
         dt_max=1e-9 if quiescent else None,
-        regrid_incremental=incremental,
     )
     res = run(cfg)
     t = res.sim.regridder.totals

@@ -18,7 +18,7 @@ block.  Node counts to 64 by default, 1,024 with REPRO_FULL=1.
 
 import pytest
 
-from repro.api import RunConfig, run
+from repro.api import RegridPolicy, RunConfig, run
 from repro.hydro.problems import TriplePointProblem
 
 from _report import FULL, emit, table
@@ -63,7 +63,7 @@ def run_point(nodes: int):
         use_gpu=True,
         max_levels=3,
         max_patch_size=48,
-        regrid_interval=3,
+        regrid=RegridPolicy(interval=3),
         max_steps=STEPS,
     )
     return run(cfg)
@@ -85,10 +85,9 @@ def run_regrid_point(nodes: int, incremental: bool):
         use_gpu=True,
         max_levels=2,
         max_patch_size=24,
-        regrid_interval=1,
+        regrid=RegridPolicy(interval=1, incremental=incremental),
         max_steps=REGRID_STEPS,
         dt_max=1e-9,
-        regrid_incremental=incremental,
     )
     out = run(cfg)
     t = out.timers

@@ -9,7 +9,7 @@ paper's categories.  A smaller, faster version of
 Run:  python examples/weak_scaling.py
 """
 
-from repro.api import RunConfig, run
+from repro.api import RegridPolicy, RunConfig, run
 from repro.hydro.problems import TriplePointProblem
 
 NODES = [1, 2, 4, 8]
@@ -28,7 +28,7 @@ def main() -> None:
             use_gpu=True,
             max_levels=2,
             max_patch_size=28,
-            regrid_interval=3,
+            regrid=RegridPolicy(interval=3),
             max_steps=STEPS,
         )
         res = run(cfg)

@@ -4,23 +4,37 @@ The paper's CleverLeaf main program composes the simulation objects from
 a SAMRAI input file (Fig. 6); this module is the equivalent programmatic
 surface.  A :class:`RunConfig` captures everything an input deck would
 say — problem, machine, rank count, CPU-vs-GPU build, AMR parameters,
-and an :class:`ObservabilityConfig` for tracing and metrics — and
-:func:`run` executes it, returning a structured :class:`RunResult` (final
-field summary, per-step dt history, the rank-merged metrics manifest,
-and the paths of any trace/checkpoint artefacts).
+a typed :class:`ExecutionPolicy` / :class:`RegridPolicy` pair for the
+execution strategy, and an :class:`ObservabilityConfig` for tracing and
+metrics — and :func:`run` executes it, returning a structured
+:class:`RunResult` (final field summary, per-step dt history, the
+rank-merged metrics manifest, and the paths of any trace/checkpoint
+artefacts).
+
+Execution strategy is *policy-shaped*: the old flat flags
+(``use_scheduler``, ``overlap``, ``batch_launches``, ``kernels``,
+``regrid_incremental``, ``balance``, ``regrid_interval``) now live on
+``RunConfig.execution`` / ``RunConfig.regrid``, whose fields accept the
+literal ``"auto"``.  Under ``ExecutionPolicy(mode="auto")`` the
+:mod:`repro.tune` tuner probe-measures the run and decides the fields
+left at ``"auto"``; :func:`resolve_config` performs that resolution
+explicitly (``run`` calls it for you) and records the decisions on
+``RunConfig.tuned``, in the metrics manifest, and in the full config
+fingerprint.  The flat names remain as deprecated property/kwarg shims
+that warn and forward.
 
 Everything outside the ``repro`` package — the CLI, the benchmarks, the
 examples — imports from here and nowhere else (enforced by the ``api``
-rule of ``repro.check.lint``).  ``repro.app`` remains as a deprecated
-shim over this module.
+rule of ``repro.check.lint``).
 """
 
 from __future__ import annotations
 
 import hashlib
 import time as _time
+import warnings
 from contextlib import contextmanager
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields as _dc_fields, replace
 
 from .comm.simcomm import make_communicator
 from .hydro.integrator import LagrangianEulerianIntegrator, SimulationConfig
@@ -45,14 +59,28 @@ from .obs import (
     run_manifest,
 )
 from .regrid.regridder import RegridConfig
+from .tune.policy import (
+    AUTO,
+    ExecutionPolicy,
+    PolicyError,
+    RegridPolicy,
+    needs_tuning,
+    resolve_policies,
+)
 
 __all__ = [
+    "AUTO",
+    "ExecutionPolicy",
+    "RegridPolicy",
+    "PolicyError",
     "ObservabilityConfig",
     "RunConfig",
     "RunResult",
     "RunSession",
     "build_simulation",
     "fingerprint",
+    "resolve_config",
+    "resolve_policies",
     "run",
     "scaled",
     "Problem",
@@ -92,7 +120,27 @@ class ObservabilityConfig:
                 f"got {self.metrics_interval!r}")
 
 
-@dataclass
+#: deprecated flat RunConfig name -> (sub-config field, policy field)
+_FLAT_SHIMS = {
+    "use_scheduler": ("execution", "scheduler"),
+    "overlap": ("execution", "overlap"),
+    "batch_launches": ("execution", "batch"),
+    "kernels": ("execution", "kernels"),
+    "regrid_interval": ("regrid", "interval"),
+    "regrid_incremental": ("regrid", "incremental"),
+    "balance": ("regrid", "balance"),
+}
+
+
+def _warn_flat(name: str) -> None:
+    sub, attr = _FLAT_SHIMS[name]
+    warnings.warn(
+        f"RunConfig.{name} is deprecated; use RunConfig.{sub}.{attr} "
+        f"({'ExecutionPolicy' if sub == 'execution' else 'RegridPolicy'})",
+        DeprecationWarning, stacklevel=3)
+
+
+@dataclass(init=False)
 class RunConfig:
     """One CleverLeaf run, as an input deck would describe it."""
 
@@ -104,51 +152,121 @@ class RunConfig:
     max_levels: int = 3
     refinement_ratio: int = 2
     max_patch_size: int = 64
-    regrid_interval: int = 5
-    regrid_incremental: bool = False  # tag-diff reuse + kept-level fast
-                                      # path; changes time, not bits
-    balance: str = "sfc"           # "sfc" | "hilbert" | "lpt" distribution
     dt_max: float | None = None    # cap the global dt (quiescent-flag runs)
     max_steps: int | None = None
     end_time: float | None = None
-    use_scheduler: bool = False    # timesteps as task graphs (repro.sched)
-    overlap: bool = False          # stream-overlapped halo exchange (implies
-                                   # use_scheduler); changes time, not bits
     sanitize: bool = False         # samrcheck sanitizer (repro.check):
                                    # observation-only, identical bits
-    batch_launches: bool = False   # arena-pooled storage + fused launches
-                                   # (one launch per level, not per patch);
-                                   # changes time, not bits
-    kernels: str | None = None     # "patch" | "slab" | None (auto: "slab"
-                                   # when batch_launches, else "patch");
-                                   # slab runs eligible fused launches as
-                                   # one whole-slab NumPy op — host
-                                   # wall-clock only, identical bits
+    #: how the run executes (scheduler / overlap / batching / kernels);
+    #: fields accept "auto" — see :class:`ExecutionPolicy`
+    execution: ExecutionPolicy = field(default_factory=ExecutionPolicy)
+    #: when and how the hierarchy is rebuilt and redistributed
+    regrid: RegridPolicy = field(default_factory=RegridPolicy)
     observability: ObservabilityConfig = field(
         default_factory=ObservabilityConfig)
     checkpoint_path: str | None = None  # write a restart .npz at the end
+    #: the tuner's recorded decisions, attached by :func:`resolve_config`
+    #: when ``execution.mode == "auto"`` (never set by hand)
+    tuned: "object | None" = field(default=None, compare=False, repr=False)
+
+    def __init__(self, problem=None, machine="IPA", nranks=1, use_gpu=True,
+                 resident=True, max_levels=3, refinement_ratio=2,
+                 max_patch_size=64, dt_max=None, max_steps=None,
+                 end_time=None, sanitize=False, execution=None, regrid=None,
+                 observability=None, checkpoint_path=None, tuned=None,
+                 **flat):
+        self.problem = problem if problem is not None else SodProblem((64, 64))
+        self.machine = machine
+        self.nranks = nranks
+        self.use_gpu = use_gpu
+        self.resident = resident
+        self.max_levels = max_levels
+        self.refinement_ratio = refinement_ratio
+        self.max_patch_size = max_patch_size
+        self.dt_max = dt_max
+        self.max_steps = max_steps
+        self.end_time = end_time
+        self.sanitize = sanitize
+        self.execution = execution if execution is not None else ExecutionPolicy()
+        self.regrid = regrid if regrid is not None else RegridPolicy()
+        self.observability = (observability if observability is not None
+                              else ObservabilityConfig())
+        self.checkpoint_path = checkpoint_path
+        self.tuned = tuned
+        for name, value in flat.items():
+            if name not in _FLAT_SHIMS:
+                raise TypeError(
+                    f"RunConfig() got an unexpected keyword argument {name!r}")
+            _warn_flat(name)
+            self._set_flat(name, value)
+
+    # -- deprecated flat-flag shims (warn and forward to the policies) ---------
+
+    def _set_flat(self, name: str, value) -> None:
+        sub, attr = _FLAT_SHIMS[name]
+        if name == "kernels" and value is None:
+            value = AUTO  # the old None meant "derive from batch_launches"
+        setattr(self, sub, replace(getattr(self, sub), **{attr: value}))
+
+    def _get_flat(self, name: str):
+        sub, attr = _FLAT_SHIMS[name]
+        return getattr(getattr(self, sub), attr)
+
+    # -- policy resolution -----------------------------------------------------
+
+    def resolved_policies(self) -> tuple[ExecutionPolicy, RegridPolicy]:
+        """Concrete (execution, regrid) policies for this config.
+
+        Delegates to :func:`repro.tune.policy.resolve_policies` — the one
+        auto-resolution function — feeding it the tuner's decisions when
+        this config has been through :func:`resolve_config`.  Raises
+        :class:`PolicyError` when measurement-driven fields are still
+        undecided.
+        """
+        decisions = self.tuned.chosen if self.tuned is not None else None
+        return resolve_policies(self.execution, self.regrid,
+                                decisions=decisions)
 
     def simulation_config(self) -> SimulationConfig:
-        kernels = self.kernels
-        if kernels is None:
-            kernels = "slab" if self.batch_launches else "patch"
+        ep, rp = self.resolved_policies()
         sim_cfg = SimulationConfig(
             max_levels=self.max_levels,
             refinement_ratio=self.refinement_ratio,
             max_patch_size=self.max_patch_size,
-            regrid=RegridConfig(regrid_interval=self.regrid_interval,
-                                incremental=self.regrid_incremental,
-                                balance=self.balance),
+            regrid=RegridConfig(regrid_interval=rp.interval,
+                                incremental=rp.incremental,
+                                balance=rp.balance),
             gamma=self.problem.gamma,
-            use_scheduler=self.use_scheduler,
-            overlap=self.overlap,
+            use_scheduler=ep.scheduler,
+            overlap=ep.overlap,
             sanitize=self.sanitize,
-            batch_launches=self.batch_launches,
-            kernels=kernels,
+            batch_launches=ep.batch,
+            kernels=ep.kernels,
         )
         if self.dt_max is not None:
             sim_cfg.dt_max = self.dt_max
         return sim_cfg
+
+
+def _install_flat_shims() -> None:
+    """Attach the deprecated flat-name properties to :class:`RunConfig`."""
+    def make(name):
+        def get(self):
+            _warn_flat(name)
+            return self._get_flat(name)
+
+        def set_(self, value):
+            _warn_flat(name)
+            self._set_flat(name, value)
+
+        return property(get, set_, doc=f"deprecated alias (see {name!r} "
+                                       "mapping in RunConfig._FLAT_SHIMS)")
+
+    for name in _FLAT_SHIMS:
+        setattr(RunConfig, name, make(name))
+
+
+_install_flat_shims()
 
 
 @dataclass
@@ -169,7 +287,7 @@ class RunResult:
     final_fields: dict[str, float] = field(default_factory=dict)
     #: the global dt of every step taken, in order
     dt_history: list[float] = field(default_factory=list)
-    #: the end-of-run metrics manifest (schema ``repro.metrics/1``)
+    #: the end-of-run metrics manifest (schema ``repro.metrics/2``)
     metrics: dict = field(default_factory=dict)
     #: (step, snapshot) pairs taken every ``metrics_interval`` steps
     metrics_history: list[tuple[int, dict]] = field(default_factory=list)
@@ -188,11 +306,46 @@ class RunResult:
         advanced = self.cells * max(self.steps, 1)
         return self.runtime / advanced if advanced else 0.0
 
+    @property
+    def policies(self) -> dict:
+        """The resolved execution/regrid policies recorded in the manifest."""
+        return self.metrics.get("policies", {})
+
+
+def resolve_config(cfg: RunConfig, *, probe_steps: int | None = None,
+                   tracer=None) -> RunConfig:
+    """A copy of ``cfg`` with every policy field concrete.
+
+    Static ``"auto"`` holes (fixed mode, or pinned fields) resolve
+    through :func:`resolve_policies`; measurement-driven holes
+    (``mode="auto"``) run the :mod:`repro.tune` tuner — a few probe
+    steps per candidate policy on a throwaway twin of the run — and the
+    chosen values plus the probe evidence are attached as ``cfg.tuned``
+    (also recorded in the metrics manifest and hashed into the full
+    fingerprint).  ``tracer`` (a :class:`repro.obs.Tracer`) receives one
+    ``tune``-category span per probe.  Idempotent on resolved configs.
+    """
+    if cfg.tuned is not None or not needs_tuning(cfg.execution, cfg.regrid):
+        ep, rp = cfg.resolved_policies()
+        if ep == cfg.execution and rp == cfg.regrid:
+            return cfg  # already concrete
+        return replace(cfg, execution=ep, regrid=rp)
+    from .tune.tuner import tune_policies
+
+    ep, rp, decisions = tune_policies(cfg, probe_steps=probe_steps,
+                                      tracer=tracer)
+    return replace(cfg, execution=ep, regrid=rp, tuned=decisions)
+
 
 def build_simulation(cfg: RunConfig) -> LagrangianEulerianIntegrator:
-    """Compose communicator, factory and integrator for a run config."""
+    """Compose communicator, factory and integrator for a run config.
+
+    The config's policies must be resolvable without measurement — pass
+    tuning configs through :func:`resolve_config` first.
+    """
     comm = make_communicator(cfg.machine, cfg.nranks, gpus=cfg.use_gpu)
-    arena = cfg.batch_launches
+    ep, _ = cfg.resolved_policies()
+    arena = ep.batch
     if cfg.use_gpu and cfg.resident:
         factory = CudaDataFactory(arena=arena)
         pi = CleverleafPatchIntegrator(gamma=cfg.problem.gamma)
@@ -212,8 +365,11 @@ class RunSession:
 
     :func:`run` drives a session start-to-finish; the serve layer
     (:mod:`repro.serve`) interleaves many sessions over one device pool
-    by advancing each a slice of steps at a time.  The contract that
-    makes cooperative preemption bitwise-safe:
+    by advancing each a slice of steps at a time.  A config with
+    measurement-driven ``"auto"`` fields is resolved (tuner probes run)
+    during construction, before the simulation is built; ``self.cfg`` is
+    always the resolved config.  The contract that makes cooperative
+    preemption bitwise-safe:
 
     * the sanitizer and tracer for this session are process-global while
       installed, so they are activated only *inside* ``advance`` (and the
@@ -232,7 +388,6 @@ class RunSession:
 
         if cfg.max_steps is None and cfg.end_time is None:
             raise ValueError("need max_steps or end_time")
-        self.cfg = cfg
         self.dt_history: list[float] = [float(dt) for dt in dt_history]
         self.metrics_history: list[tuple[int, dict]] = []
         self._checker = SanitizeChecker() if cfg.sanitize else None
@@ -248,6 +403,10 @@ class RunSession:
         self._step_wall = 0.0
         self._wall0 = _time.perf_counter()
         self._wall_end = self._wall0
+        # tuner probes (if any) run before the simulation exists, with no
+        # tracer/checker installed; their spans reach the trace through
+        # the explicit tracer handle
+        self.cfg = cfg = resolve_config(cfg, tracer=self._tracer)
         self.sim = build_simulation(cfg)
         try:
             with self._active():
@@ -332,8 +491,16 @@ class RunSession:
         from .hydro.diagnostics import field_summary
 
         sim = self.sim
+        ep, rp = self.cfg.resolved_policies()
+        policies = {
+            "execution": ep.as_dict(),
+            "regrid": rp.as_dict(),
+            "tuned": (self.cfg.tuned.as_dict()
+                      if self.cfg.tuned is not None else None),
+        }
         manifest = run_manifest(sim, steps=sim.step_count,
-                                dt_history=self.dt_history)
+                                dt_history=self.dt_history,
+                                policies=policies)
         checkpoint_path = None
         if self.cfg.checkpoint_path is not None:
             from .util.restart import save_npz
@@ -371,7 +538,12 @@ class RunSession:
 
 
 def run(cfg: RunConfig) -> RunResult:
-    """Initialise and run to the configured budget; return measurements."""
+    """Initialise and run to the configured budget; return measurements.
+
+    Configs with ``ExecutionPolicy(mode="auto")`` are tuned first (see
+    :func:`resolve_config`); the resolved decisions are recorded in
+    ``RunResult.metrics["policies"]``.
+    """
     session = RunSession(cfg)
     try:
         session.advance()
@@ -388,8 +560,13 @@ def fingerprint(cfg: RunConfig, *, full: bool = False) -> str:
     layout parameters — so two configs with equal fingerprints can share
     one cached post-initialise snapshot (backend choice changes modelled
     time, never bits, so it is deliberately excluded).  ``full=True``
-    additionally hashes the machine/backend/budget fields, identifying
-    runs whose *results* must match bitwise end to end.
+    additionally hashes the machine/backend/budget fields and the
+    **resolved** execution policy — ``"auto"`` never enters the hash;
+    tuned configs hash the tuner's decisions, so runs whose *results*
+    must match bitwise end to end (and whose schedules/plans may be
+    reused) are identified by what actually executed.  Raises
+    :class:`PolicyError` when ``full=True`` and measurement-driven
+    fields are still undecided.
     """
     p = cfg.problem
     key: list = [
@@ -398,26 +575,40 @@ def fingerprint(cfg: RunConfig, *, full: bool = False) -> str:
         ("max_levels", cfg.max_levels),
         ("refinement_ratio", cfg.refinement_ratio),
         ("max_patch_size", cfg.max_patch_size),
-        ("regrid_interval", cfg.regrid_interval),
-        ("balance", cfg.balance),
+        ("regrid_interval", cfg.regrid.interval),
+        ("balance", cfg.regrid.balance),
     ]
     if full:
+        ep, rp = cfg.resolved_policies()
         key += [
-            ("regrid_incremental", cfg.regrid_incremental),
+            ("regrid_incremental", rp.incremental),
             ("dt_max", cfg.dt_max),
             ("machine", cfg.machine),
             ("use_gpu", cfg.use_gpu),
             ("resident", cfg.resident),
             ("max_steps", cfg.max_steps),
             ("end_time", cfg.end_time),
-            ("use_scheduler", cfg.use_scheduler),
-            ("overlap", cfg.overlap),
-            ("batch_launches", cfg.batch_launches),
-            ("kernels", cfg.kernels),
+            ("use_scheduler", ep.scheduler),
+            ("overlap", ep.overlap),
+            ("batch_launches", ep.batch),
+            ("kernels", ep.kernels),
         ]
     return hashlib.sha256(repr(key).encode()).hexdigest()[:16]
 
 
 def scaled(cfg: RunConfig, **overrides) -> RunConfig:
-    """A copy of a run config with fields replaced (sweep helper)."""
-    return replace(cfg, **overrides)
+    """A copy of a run config with fields replaced (sweep helper).
+
+    Accepts the deprecated flat names (``overlap=``, ``batch_launches=``
+    …) with a :class:`DeprecationWarning`, forwarding them into the
+    policy sub-configs so old sweep scripts keep working.
+    """
+    flat = {k: overrides.pop(k) for k in list(overrides) if k in _FLAT_SHIMS}
+    unknown = set(overrides) - {f.name for f in _dc_fields(RunConfig)}
+    if unknown:
+        raise TypeError(f"scaled() got unexpected field(s) {sorted(unknown)}")
+    out = replace(cfg, **overrides)
+    for name, value in flat.items():
+        _warn_flat(name)
+        out._set_flat(name, value)
+    return out

@@ -13,7 +13,7 @@ height group       packages
 1      data        mesh, pdat, cupdat, exec
 2      comm        comm
 3      physics     geom, hydro, xfer, regrid, sched
-4      facade      api, app
+4      facade      api, tune
 5      serve       serve
 6      entry       cli, __main__, __init__
 ====== =========== =========================================
@@ -54,7 +54,7 @@ LAYER_GROUPS = (
     (1, "data", frozenset({"mesh", "pdat", "cupdat", "exec"})),
     (2, "comm", frozenset({"comm"})),
     (3, "physics", frozenset({"geom", "hydro", "xfer", "regrid", "sched"})),
-    (4, "facade", frozenset({"api", "app"})),
+    (4, "facade", frozenset({"api", "tune"})),
     (5, "serve", frozenset({"serve"})),
     (6, "entry", frozenset({"cli", "__main__", "__init__"})),
 )

@@ -17,9 +17,16 @@ dynamic checker can only observe at runtime:
   naming a kernel must declare its data accesses (``reads=``/``writes=``),
   because the scheduler derives dependency edges from exactly those
   declarations.
-* **api** — code outside the ``repro`` package (benchmarks, examples,
-  drivers) must import the public facade :mod:`repro.api`, not the
-  deprecated :mod:`repro.app` shim.
+* **api** — all code must import the public facade :mod:`repro.api`:
+  the old :mod:`repro.app` shim is removed, so any import of it is
+  flagged.  Call sites constructing ``RunConfig(...)`` (or the
+  ``scaled(...)`` sweep helper) with the deprecated flat execution
+  kwargs (``use_scheduler``, ``overlap``, ``batch_launches``,
+  ``kernels``, ``regrid_incremental``, ``balance``, ``regrid_interval``)
+  are flagged too — those knobs live on the typed
+  ``ExecutionPolicy``/``RegridPolicy`` sub-configs now; the runtime
+  shims only exist for external callers mid-migration (shim tests carry
+  a waiver).
 * **slab** — kernel dispatch inside a per-patch ``for patch in level:``
   loop defeats whole-slab execution (``--kernels slab`` runs one
   vectorized op per fused level group); new dispatch sites should emit
@@ -225,27 +232,48 @@ class _Linter(ast.NodeVisitor):
 
     # -- api rule --------------------------------------------------------------
 
-    def _inside_repro(self) -> bool:
-        return "repro" in self.path.parts
-
     def visit_Import(self, node: ast.Import):
-        if not self._inside_repro():
-            for alias in node.names:
-                if alias.name == "repro.app" or alias.name.startswith("repro.app."):
-                    self._flag(node, "api",
-                               "import of deprecated 'repro.app' outside the "
-                               "repro package — use the 'repro.api' facade")
+        for alias in node.names:
+            if alias.name == "repro.app" or alias.name.startswith("repro.app."):
+                self._flag(node, "api",
+                           "import of removed 'repro.app' — use the "
+                           "'repro.api' facade")
         self._check_serve_imports(node)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom):
-        if not self._inside_repro() and node.module is not None:
+        if node.module is not None:
             if node.module == "repro.app" or node.module.startswith("repro.app."):
                 self._flag(node, "api",
-                           "import from deprecated 'repro.app' outside the "
-                           "repro package — use the 'repro.api' facade")
+                           "import from removed 'repro.app' — use the "
+                           "'repro.api' facade")
         self._check_serve_imports(node)
         self.generic_visit(node)
+
+    #: RunConfig kwargs that moved onto ExecutionPolicy / RegridPolicy
+    _FLAT_CONFIG_KWARGS = frozenset({
+        "use_scheduler", "overlap", "batch_launches", "kernels",
+        "regrid_incremental", "balance", "regrid_interval",
+    })
+    #: call names whose keyword arguments are RunConfig fields
+    _CONFIG_CALL_NAMES = frozenset({"RunConfig", "scaled"})
+
+    def _check_config_call(self, node: ast.Call) -> None:
+        """Flag ``RunConfig(...)``/``scaled(...)`` using the flat kwargs."""
+        func = node.func
+        name = (func.id if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None)
+        if name not in self._CONFIG_CALL_NAMES:
+            return
+        for kw in node.keywords:
+            if kw.arg in self._FLAT_CONFIG_KWARGS:
+                sub = ("regrid" if kw.arg in ("regrid_incremental", "balance",
+                                              "regrid_interval")
+                       else "execution")
+                self._flag(kw.value, "api",
+                           f"deprecated flat RunConfig kwarg '{kw.arg}' — "
+                           f"set it on the typed '{sub}' policy "
+                           "(ExecutionPolicy / RegridPolicy)")
 
     def _check_serve_imports(self, node) -> None:
         """Resolve a serve-layer import (aliases, relative forms, and
@@ -278,6 +306,7 @@ class _Linter(ast.NodeVisitor):
                 self._check_run_call(node)
             elif func.attr == "kernel_task":
                 self._check_kernel_task_call(node)
+        self._check_config_call(node)
         self.generic_visit(node)
 
     # -- declaration rules -----------------------------------------------------

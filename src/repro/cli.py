@@ -6,9 +6,10 @@ summary and runtime breakdown; optionally writes VTK dumps and a restart
 checkpoint.
 
 Subcommands: ``repro serve`` / ``repro submit`` (the multi-tenant run
-service) and ``repro check`` (static analysis: seam lint, declared-access
+service), ``repro check`` (static analysis: seam lint, declared-access
 effect checking against kernel ASTs, module layering — see
-``repro check --help``).
+``repro check --help``) and ``repro check perf`` (gate benchmark
+manifests against committed perf baselines).
 """
 
 from __future__ import annotations
@@ -16,7 +17,15 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .api import PROBLEMS, ObservabilityConfig, RunConfig, run
+from .api import (
+    AUTO,
+    PROBLEMS,
+    ExecutionPolicy,
+    ObservabilityConfig,
+    RegridPolicy,
+    RunConfig,
+    run,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -72,6 +81,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "slab — real wall-clock drops, bits and modelled "
                         "time are unchanged; 'patch' replays per-patch "
                         "bodies (the reference path)")
+    p.add_argument("--auto", action="store_true",
+                   help="auto-tune the execution policy: probe a few steps "
+                        "per candidate (serial / batch / batch+slab / "
+                        "overlap) and pick the best modelled grind; flags "
+                        "you pass explicitly stay pinned, the tuner only "
+                        "decides the rest (bitwise identical to the chosen "
+                        "flags run by hand)")
     p.add_argument("--sanitize", action="store_true",
                    help="run with the samrcheck sanitizer: verify declared "
                         "accesses, replay the DAG's happens-before relation, "
@@ -108,6 +124,10 @@ def main(argv=None) -> int:
 
         return submit_main(argv[1:])
     if argv and argv[0] == "check":
+        if len(argv) > 1 and argv[1] == "perf":
+            from .check.perf import perf_main
+
+            return perf_main(argv[2:])
         from .check.static import check_main
 
         return check_main(argv[1:])
@@ -120,6 +140,21 @@ def main(argv=None) -> int:
     use_gpu = not args.cpu
     nranks = args.nodes * (gpus_per_node if use_gpu else 1)
 
+    # Flags the user passed pin policy fields; everything else stays
+    # "auto" — resolved statically (off / patch) in fixed mode, decided
+    # by probe measurement under --auto.
+    execution = ExecutionPolicy(
+        mode="auto" if args.auto else "fixed",
+        scheduler=True if args.scheduler else AUTO,
+        overlap=True if args.overlap else AUTO,
+        batch=True if args.batch else AUTO,
+        kernels=args.kernels if args.kernels is not None else AUTO,
+    )
+    regrid = RegridPolicy(
+        interval=args.regrid_interval,
+        incremental=True if args.regrid_incremental else AUTO,
+        balance=args.balance,
+    )
     cfg = RunConfig(
         problem=problem,
         machine=machine,
@@ -128,17 +163,12 @@ def main(argv=None) -> int:
         resident=not args.non_resident,
         max_levels=args.levels,
         max_patch_size=args.max_patch,
-        regrid_interval=args.regrid_interval,
-        regrid_incremental=args.regrid_incremental,
-        balance=args.balance,
+        execution=execution,
+        regrid=regrid,
         max_steps=args.steps if args.steps is not None else (
             None if args.end_time is not None else 20),
         end_time=args.end_time,
-        use_scheduler=args.scheduler or args.overlap,
-        overlap=args.overlap,
         sanitize=args.sanitize,
-        batch_launches=args.batch,
-        kernels=args.kernels,
         observability=ObservabilityConfig(
             trace_path=args.trace,
             metrics_interval=args.metrics_interval,
@@ -147,12 +177,14 @@ def main(argv=None) -> int:
     )
     build = ("CPU" if not use_gpu
              else "GPU resident" if cfg.resident else "GPU copy-per-kernel")
-    mode = ("" if not cfg.use_scheduler else
-            ", task-graph scheduler" + (" + overlap" if cfg.overlap else ""))
-    if cfg.batch_launches:
-        mode += ", batched launches"
-        mode += (" (slab kernels)" if cfg.kernels in (None, "slab")
-                 else " (patch kernels)")
+    if args.auto:
+        mode = ", auto-tuned execution policy"
+    else:
+        ep, _ = cfg.resolved_policies()
+        mode = ("" if not ep.scheduler else
+                ", task-graph scheduler" + (" + overlap" if ep.overlap else ""))
+        if ep.batch:
+            mode += f", batched launches ({ep.kernels} kernels)"
     if cfg.sanitize:
         mode += ", sanitize"
     print(f"running {args.problem} on {args.nodes} {machine} node(s), "
@@ -168,6 +200,14 @@ def main(argv=None) -> int:
         raise
     sim = res.sim
 
+    tuned = res.policies.get("tuned")
+    if tuned:
+        ep = res.policies.get("execution", {})
+        print(f"auto-tuned: picked '{tuned['winner']}' from "
+              f"{len(tuned['probes'])} probes of {tuned['probe_steps']} "
+              f"step(s) — scheduler={ep.get('scheduler')} "
+              f"overlap={ep.get('overlap')} batch={ep.get('batch')} "
+              f"kernels={ep.get('kernels')}")
     print(f"\nadvanced {res.steps} steps to t = {sim.time:.5f}; "
           f"{res.cells} cells on {sim.hierarchy.num_levels} levels")
     s = res.final_fields

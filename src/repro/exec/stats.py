@@ -27,6 +27,7 @@ __all__ = [
     "combined_stats",
     "kernel_category",
     "attribution_report",
+    "tuning_signals",
 ]
 
 
@@ -304,6 +305,53 @@ def combined_stats(stats_iter) -> ExecStats:
     for s in stats_iter:
         out.merge(s)
     return out
+
+
+def tuning_signals(stats: ExecStats) -> dict[str, float]:
+    """The scalar signals the auto-tuner (``repro.tune``) reads.
+
+    Distils the counter surfaces into the quantities the tuner's
+    decision rules are written in:
+
+    * ``kernel_launches`` / ``patches_per_launch`` — how much per-launch
+      overhead there is to fuse away (many small launches → batch wins);
+    * ``slab_fused`` / ``slab_fallback_rate`` — whether whole-slab
+      execution actually engages for this problem shape or keeps falling
+      back to per-patch replay;
+    * ``exposed_wait_fraction`` — the share of async transfer time the
+      compute timeline still waited for (1.0 when nothing was overlapped,
+      so a high value with transfer work present argues for ``overlap``);
+    * ``transfer_seconds`` / ``kernel_seconds`` — the raw material the
+      overlap decision weighs;
+    * ``schedule_cache_hit_rate`` — how much host-side schedule rebuild
+      work incremental regrid could avoid.
+    """
+    launches = sum(c.launches for c in stats.kernels.values())
+    batched = sum(c.launches for c in stats.batches.values())
+    members = sum(c.members for c in stats.batches.values())
+    fused = sum(c.fused for c in stats.slab.values())
+    # fallback rate over slab-*eligible* kernels only: a kernel that never
+    # fused (halo exchange, interpolation — inherently per-patch) is not
+    # evidence against slab execution, just work slab never claimed
+    eligible = [c for c in stats.slab.values() if c.fused]
+    fallback = sum(c.fallback for c in eligible)
+    hits = sum(c.hits for c in stats.schedules.values())
+    misses = sum(c.misses for c in stats.schedules.values())
+    o = stats.overlap
+    return {
+        "kernel_launches": float(launches),
+        "batched_launches": float(batched),
+        "patches_per_launch": members / batched if batched else 1.0,
+        "slab_fused": float(fused),
+        "slab_fallback_rate": (fallback / (fused + fallback)
+                               if fused + fallback else 0.0),
+        "kernel_seconds": stats.kernel_seconds,
+        "transfer_seconds": stats.transfer_seconds,
+        "exposed_wait_fraction": (o.exposed_seconds / o.async_seconds
+                                  if o.async_seconds else 1.0),
+        "schedule_cache_hit_rate": (hits / (hits + misses)
+                                    if hits + misses else 0.0),
+    }
 
 
 #: kernels whose category is not what their name prefix suggests

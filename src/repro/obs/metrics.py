@@ -33,7 +33,9 @@ __all__ = [
 ]
 
 #: bumped whenever a manifest field changes meaning
-MANIFEST_SCHEMA = "repro.metrics/1"
+#: (/2 added the "policies" section: resolved execution/regrid policies
+#: plus the tuner's decisions when the run was auto-tuned)
+MANIFEST_SCHEMA = "repro.metrics/2"
 
 
 @dataclass
@@ -285,11 +287,15 @@ def registry_from_run(sim) -> MetricsRegistry:
     return reg
 
 
-def run_manifest(sim, *, steps=None, dt_history=None, extra=None) -> dict:
+def run_manifest(sim, *, steps=None, dt_history=None, policies=None,
+                 extra=None) -> dict:
     """The machine-readable end-of-run manifest (schema-versioned).
 
     This is what :class:`repro.api.RunResult` carries as ``metrics`` and
     what the benchmark harness embeds into ``BENCH_*.json``.
+    ``policies`` is the resolved execution/regrid policy record (dicts of
+    ``{"execution": ..., "regrid": ..., "tuned": ...}``) so a manifest
+    states *how* the run executed, not just how fast.
     """
     reg = registry_from_run(sim)
     if dt_history:
@@ -305,6 +311,8 @@ def run_manifest(sim, *, steps=None, dt_history=None, extra=None) -> dict:
         "virtual_runtime": sim.elapsed(),
         "timers": sim.timer_summary(),
     }
+    if policies is not None:
+        manifest["policies"] = policies
     manifest.update(reg.snapshot())
     if extra:
         manifest.update(extra)

@@ -44,6 +44,7 @@ CATEGORIES = frozenset({
     "comm",       # network activity: sends, receive waits, collectives
     "task",       # one scheduler task body (label = task label)
     "wait",       # a timeline blocked on another timeline's event
+    "tune",       # one auto-tuner probe (payload carries the candidate)
     "phase",      # integrator step phases (hydro / timestep / sync / regrid)
 })
 

@@ -15,7 +15,14 @@ import argparse
 import json
 import sys
 
-from ..api import PROBLEMS, ObservabilityConfig, RunConfig
+from ..api import (
+    AUTO,
+    PROBLEMS,
+    ExecutionPolicy,
+    ObservabilityConfig,
+    RegridPolicy,
+    RunConfig,
+)
 from .job import PRIORITIES, JobSpec, JobState
 from .pool import DevicePool
 from .scheduler import Scheduler
@@ -41,18 +48,31 @@ def spec_to_json(spec: JobSpec) -> str:
         "resident": cfg.resident,
         "max_levels": cfg.max_levels,
         "max_patch_size": cfg.max_patch_size,
-        "regrid_interval": cfg.regrid_interval,
+        "execution": cfg.execution.as_dict(),
+        "regrid": cfg.regrid.as_dict(),
         "max_steps": cfg.max_steps,
         "end_time": cfg.end_time,
-        "batch": cfg.batch_launches,
         "sanitize": cfg.sanitize,
     })
 
 
 def spec_from_json(line: str) -> JobSpec:
-    """Rebuild a job spec from one queue-file line."""
+    """Rebuild a job spec from one queue-file line.
+
+    New lines carry ``execution``/``regrid`` policy dicts; legacy lines
+    (flat ``batch``/``regrid_interval`` keys) are still accepted so old
+    queue files keep draining.
+    """
     d = json.loads(line)
     problem = PROBLEMS[d["problem"]](tuple(d["resolution"]))
+    if "execution" in d:
+        execution = ExecutionPolicy(**d["execution"])
+    else:
+        execution = ExecutionPolicy(batch=bool(d.get("batch", False)))
+    if "regrid" in d:
+        regrid = RegridPolicy(**d["regrid"])
+    else:
+        regrid = RegridPolicy(interval=d.get("regrid_interval", 5))
     cfg = RunConfig(
         problem=problem,
         machine=d.get("machine", "IPA"),
@@ -61,10 +81,10 @@ def spec_from_json(line: str) -> JobSpec:
         resident=d.get("resident", True),
         max_levels=d.get("max_levels", 3),
         max_patch_size=d.get("max_patch_size", 64),
-        regrid_interval=d.get("regrid_interval", 5),
+        execution=execution,
+        regrid=regrid,
         max_steps=d.get("max_steps"),
         end_time=d.get("end_time"),
-        batch_launches=d.get("batch", False),
         sanitize=d.get("sanitize", False),
         observability=ObservabilityConfig(),
     )
@@ -101,6 +121,9 @@ def _submit_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=None)
     p.add_argument("--end-time", type=float, default=None)
     p.add_argument("--batch", action="store_true")
+    p.add_argument("--auto", action="store_true",
+                   help="auto-tune the execution policy at admission "
+                        "(probe steps run when the job is submitted)")
     p.add_argument("--sanitize", action="store_true")
     return p
 
@@ -111,12 +134,18 @@ def submit_main(argv=None) -> int:
         print("need --steps or --end-time", file=sys.stderr)
         return 2
     problem = PROBLEMS[args.problem]((args.resolution, args.resolution))
+    execution = ExecutionPolicy(
+        mode="auto" if args.auto else "fixed",
+        batch=True if args.batch else AUTO,
+    )
     cfg = RunConfig(
         problem=problem, machine=args.machine, nranks=args.nranks,
         use_gpu=not args.cpu, resident=not args.non_resident,
         max_levels=args.levels, max_patch_size=args.max_patch,
-        regrid_interval=args.regrid_interval, max_steps=args.steps,
-        end_time=args.end_time, batch_launches=args.batch,
+        execution=execution,
+        regrid=RegridPolicy(interval=args.regrid_interval),
+        max_steps=args.steps,
+        end_time=args.end_time,
         sanitize=args.sanitize,
     )
     spec = JobSpec(name=args.name, cfg=cfg, tenant=args.tenant,

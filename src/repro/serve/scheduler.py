@@ -23,7 +23,7 @@ Everything here reaches simulations only through :mod:`repro.api`
 
 from __future__ import annotations
 
-from ..api import RunSession
+from ..api import RunSession, resolve_config
 from ..obs import MetricsRegistry
 from .cache import PlanCache
 from .events import EventStream
@@ -57,7 +57,15 @@ class Scheduler:
     # -- submission ------------------------------------------------------------
 
     def submit(self, spec: JobSpec) -> JobRecord:
-        """Enqueue a job; rejects immediately what can never be placed."""
+        """Enqueue a job; rejects immediately what can never be placed.
+
+        The spec's config is policy-resolved here, *before* admission:
+        an ``ExecutionPolicy(mode="auto")`` job runs its tuner probes at
+        submission (on throwaway twins, never the pool's devices), so
+        the admission check, the plan-cache fingerprint, and every
+        subsequent session all see the concrete resolved policies.
+        """
+        spec.cfg = resolve_config(spec.cfg)
         record = JobRecord(spec, submitted_at=self.clock)
         self.records.append(record)
         try:

@@ -1,0 +1,226 @@
+"""Typed execution/regrid policies and the one resolution function.
+
+:class:`~repro.api.RunConfig` used to carry the execution knobs as flat
+flags (``use_scheduler``, ``overlap``, ``batch_launches``, ``kernels``,
+``regrid_incremental``, ``balance``) whose interactions were resolved in
+three different places — ``RunConfig.simulation_config`` derived
+``kernels=None -> "slab" if batch else "patch"``, and the CLI and the
+batch benchmark each re-derived the same rule by hand.  This module is
+the single home for that logic:
+
+* :class:`ExecutionPolicy` / :class:`RegridPolicy` are the typed
+  sub-configs.  Every tunable field accepts the literal ``"auto"``; what
+  ``"auto"`` means depends on ``ExecutionPolicy.mode``:
+
+  - ``mode="fixed"`` (the default): ``"auto"`` resolves *statically* —
+    scheduler/overlap/batch fall to their off defaults and ``kernels``
+    follows ``batch`` (``"slab"`` when batched, else ``"patch"``), so
+    ``ExecutionPolicy()`` reproduces the old flag defaults exactly.
+  - ``mode="auto"``: fields still ``"auto"`` after pinning are decided
+    by measurement — the :mod:`repro.tune` tuner runs probe steps and
+    supplies a ``decisions`` mapping.  Explicitly set fields stay
+    pinned; the tuner only fills the holes.
+
+* :func:`resolve_policies` is the **only** function that turns policies
+  into concrete values.  ``RunConfig.simulation_config``, the CLI, the
+  benchmarks, the serve admission path and the tuner itself all call it,
+  so the auto-resolution rule exists exactly once.
+
+Nothing here imports the rest of the package: the policy vocabulary is
+pure data, shared by the facade above and the tuner beside it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "AUTO",
+    "ExecutionPolicy",
+    "RegridPolicy",
+    "PolicyError",
+    "resolve_policies",
+    "needs_tuning",
+]
+
+#: the literal a policy field carries while its value is still undecided
+AUTO = "auto"
+
+_MODES = ("fixed", "auto")
+_KERNELS = ("patch", "slab", AUTO)
+_BALANCES = ("sfc", "hilbert", "lpt")
+#: ExecutionPolicy fields the tuner may decide (RegridPolicy adds
+#: "incremental"); also the order decisions are reported in
+TUNABLE_FIELDS = ("scheduler", "overlap", "batch", "kernels")
+
+
+class PolicyError(ValueError):
+    """A policy still carries ``"auto"`` where a concrete value is needed."""
+
+
+def _check_flag(name: str, value) -> None:
+    if value != AUTO and not isinstance(value, bool):
+        raise ValueError(
+            f"{name} must be True, False or {AUTO!r}, got {value!r}")
+
+
+@dataclass
+class ExecutionPolicy:
+    """How a run executes: scheduling, halo overlap, launch batching.
+
+    All four tunable fields default to ``"auto"``; under the default
+    ``mode="fixed"`` that resolves to the classic defaults (serial call
+    sequence, per-patch launches), so ``ExecutionPolicy()`` is the old
+    ``RunConfig()`` behaviour.  ``mode="auto"`` hands the still-``auto``
+    fields to the measurement-driven tuner (:mod:`repro.tune`).
+    """
+
+    #: "fixed": static resolution of ``auto`` fields; "auto": the tuner
+    #: probe-measures and decides the fields left at ``auto``
+    mode: str = "fixed"
+    #: drive timesteps through the task-graph scheduler (repro.sched)
+    scheduler: bool | str = AUTO
+    #: stream-overlapped halo exchange (implies scheduler); time, not bits
+    overlap: bool | str = AUTO
+    #: arena-pooled storage + one fused launch per (kernel, level)
+    batch: bool | str = AUTO
+    #: how fused launches execute: "patch" replays member bodies,
+    #: "slab" runs one vectorized op over the arena slab (needs batch)
+    kernels: str | None = AUTO
+
+    def __post_init__(self):
+        if self.mode not in _MODES:
+            raise ValueError(
+                f"ExecutionPolicy.mode must be one of {_MODES}, "
+                f"got {self.mode!r}")
+        if self.kernels is None:
+            self.kernels = AUTO
+        if self.kernels not in _KERNELS:
+            raise ValueError(
+                f"ExecutionPolicy.kernels must be one of {_KERNELS}, "
+                f"got {self.kernels!r}")
+        for name in ("scheduler", "overlap", "batch"):
+            _check_flag(f"ExecutionPolicy.{name}", getattr(self, name))
+
+    @property
+    def concrete(self) -> bool:
+        """True when no field is left at ``"auto"``."""
+        return (self.scheduler != AUTO and self.overlap != AUTO
+                and self.batch != AUTO and self.kernels != AUTO)
+
+    def as_dict(self) -> dict:
+        return {"mode": self.mode, "scheduler": self.scheduler,
+                "overlap": self.overlap, "batch": self.batch,
+                "kernels": self.kernels}
+
+
+@dataclass
+class RegridPolicy:
+    """When and how the hierarchy is rebuilt and redistributed."""
+
+    #: steps between regrids
+    interval: int = 5
+    #: tag-diff reuse + kept-level fast path (bitwise-identical; the
+    #: tuner enables it when the probe observes regrid work to avoid)
+    incremental: bool | str = AUTO
+    #: distribution map: "sfc" | "hilbert" | "lpt"
+    balance: str = "sfc"
+
+    def __post_init__(self):
+        if self.interval < 1:
+            raise ValueError(
+                f"RegridPolicy.interval must be >= 1, got {self.interval!r}")
+        if self.balance not in _BALANCES:
+            raise ValueError(
+                f"RegridPolicy.balance must be one of {_BALANCES}, "
+                f"got {self.balance!r}")
+        _check_flag("RegridPolicy.incremental", self.incremental)
+
+    @property
+    def concrete(self) -> bool:
+        return self.incremental != AUTO
+
+    def as_dict(self) -> dict:
+        return {"interval": self.interval, "incremental": self.incremental,
+                "balance": self.balance}
+
+
+def needs_tuning(execution: ExecutionPolicy,
+                 regrid: RegridPolicy | None = None) -> bool:
+    """True when resolution requires tuner measurements.
+
+    Only ``mode="auto"`` policies ever reach the tuner; in fixed mode
+    every ``auto`` has a static meaning.
+    """
+    if execution.mode != "auto":
+        return False
+    return (not execution.concrete
+            or (regrid is not None and not regrid.concrete))
+
+
+def resolve_policies(
+    execution: ExecutionPolicy,
+    regrid: RegridPolicy | None = None,
+    decisions: dict | None = None,
+) -> tuple[ExecutionPolicy, RegridPolicy]:
+    """Resolve every ``"auto"`` to a concrete value — the only resolver.
+
+    ``decisions`` maps field names (``scheduler`` / ``overlap`` /
+    ``batch`` / ``kernels`` / ``incremental``) to the tuner's measured
+    choices; it is consulted only for fields still ``auto`` under
+    ``mode="auto"``.  Raises :class:`PolicyError` when a measurement-
+    driven field is unresolved and no decision covers it — callers that
+    cannot tune (``build_simulation`` on a raw config) surface that
+    instead of guessing.
+
+    The static rules, in order:
+
+    * pinned fields pass through untouched;
+    * ``mode="auto"`` fields take their tuner decision;
+    * remaining ``auto`` flags fall to ``False`` (fixed mode only);
+    * ``overlap=True`` forces ``scheduler=True`` (the overlap pipeline
+      runs on the task graph);
+    * ``kernels="auto"`` follows ``batch`` — ``"slab"`` when batched,
+      else ``"patch"`` — and ``kernels="slab"`` without ``batch`` is
+      rejected (slab execution runs on the fused-launch arenas).
+    """
+    regrid = regrid if regrid is not None else RegridPolicy()
+    decisions = decisions or {}
+    auto_mode = execution.mode == "auto"
+
+    def pick(name: str, value):
+        if value != AUTO:
+            return value
+        if auto_mode and name in decisions:
+            return decisions[name]
+        if auto_mode:
+            raise PolicyError(
+                f"policy field {name!r} is 'auto' in mode='auto' and no "
+                "tuner decision was supplied — resolve the config through "
+                "repro.api.resolve_config (or repro.api.run) first")
+        return None  # static default, filled below
+
+    scheduler = pick("scheduler", execution.scheduler)
+    overlap = pick("overlap", execution.overlap)
+    batch = pick("batch", execution.batch)
+    kernels = pick("kernels", execution.kernels)
+    incremental = pick("incremental", regrid.incremental)
+
+    overlap = bool(overlap) if overlap is not None else False
+    batch = bool(batch) if batch is not None else False
+    scheduler = bool(scheduler) if scheduler is not None else False
+    incremental = bool(incremental) if incremental is not None else False
+    if overlap:
+        scheduler = True
+    if kernels is None or kernels == AUTO:
+        kernels = "slab" if batch else "patch"
+    if kernels == "slab" and not batch:
+        raise ValueError(
+            "kernels='slab' requires batch=True: whole-slab execution "
+            "runs on the fused-launch arena substrate")
+
+    resolved_exec = ExecutionPolicy(
+        mode="fixed", scheduler=scheduler, overlap=overlap,
+        batch=batch, kernels=kernels)
+    resolved_regrid = replace(regrid, incremental=incremental)
+    return resolved_exec, resolved_regrid

@@ -4,7 +4,7 @@ factory, the run result contract, and the deprecation shim.
 ``repro.api.run`` is the one public entry point (everything outside the
 package imports it and nothing else — the ``api`` lint rule), so its
 contract is pinned here: validated configs, a structured
-:class:`RunResult`, and a ``repro.app`` shim that still works but warns.
+:class:`RunResult`, and flat-kwarg shims that still work but warn.
 """
 
 from __future__ import annotations
@@ -17,7 +17,10 @@ import numpy as np
 import pytest
 
 from repro.api import (
+    AUTO,
+    ExecutionPolicy,
     ObservabilityConfig,
+    RegridPolicy,
     RunConfig,
     RunResult,
     build_simulation,
@@ -151,24 +154,56 @@ def test_result_without_tracing_has_no_trace(result):
     assert res.sanitize_counters is None
 
 
-# -- the deprecation shim -----------------------------------------------------
+# -- the flat-kwarg deprecation shims -----------------------------------------
 
 
-def test_app_shim_warns_and_delegates():
-    import repro.app as app
-
-    with pytest.warns(DeprecationWarning, match="repro.api.run"):
-        res = app.run_simulation(_config(max_steps=2))
-    assert isinstance(res, RunResult)
-    assert res.steps == 2
+def test_app_module_is_gone():
+    with pytest.raises(ModuleNotFoundError):
+        import repro.app  # noqa: F401  # samrcheck: ok(api): asserting removal
 
 
-def test_app_shim_reexports_the_api_types():
-    import repro.app as app
+def test_flat_kwargs_warn_and_forward():
+    with pytest.warns(DeprecationWarning, match="execution"):
+        cfg = _config(batch_launches=True)  # samrcheck: ok(api): shim test
+    assert cfg.execution.batch is True
+    with pytest.warns(DeprecationWarning, match="regrid"):
+        cfg = _config(regrid_interval=7)  # samrcheck: ok(api): shim test
+    assert cfg.regrid.interval == 7
 
-    assert app.RunConfig is RunConfig
-    assert app.RunResult is RunResult
-    assert app.build_simulation is build_simulation
+
+def test_flat_kwarg_kernels_none_stays_auto():
+    with pytest.warns(DeprecationWarning):
+        cfg = _config(kernels=None)  # samrcheck: ok(api): shim test
+    assert cfg.execution.kernels == AUTO
+
+
+def test_unknown_kwarg_still_raises():
+    with pytest.raises(TypeError, match="no_such_flag"):
+        _config(no_such_flag=True)
+
+
+def test_flat_property_reads_warn_and_mirror():
+    cfg = _config(execution=ExecutionPolicy(batch=True, kernels="slab"),
+                  regrid=RegridPolicy(interval=9))
+    with pytest.warns(DeprecationWarning, match="execution"):
+        assert cfg.batch_launches is True
+    with pytest.warns(DeprecationWarning, match="execution"):
+        assert cfg.kernels == "slab"
+    with pytest.warns(DeprecationWarning, match="regrid"):
+        assert cfg.regrid_interval == 9
+
+
+def test_flat_property_writes_warn_and_forward():
+    cfg = _config()
+    with pytest.warns(DeprecationWarning, match="execution"):
+        cfg.overlap = True
+    assert cfg.execution.overlap is True
+
+
+def test_scaled_flat_override_warns():
+    with pytest.warns(DeprecationWarning, match="execution"):
+        bigger = scaled(_config(), batch_launches=True)  # samrcheck: ok(api): shim test
+    assert bigger.execution.batch is True
 
 
 # -- the api lint rule --------------------------------------------------------
@@ -183,7 +218,7 @@ def _lint_source(tmp_path, relpath: str, source: str):
     return lint_file(path)
 
 
-def test_lint_flags_app_import_outside_repro(tmp_path):
+def test_lint_flags_app_import_everywhere(tmp_path):
     violations = _lint_source(tmp_path, "benchmarks/bench_x.py", """
         from repro.app import RunConfig, run_simulation
     """)
@@ -195,15 +230,43 @@ def test_lint_flags_app_import_outside_repro(tmp_path):
     """)
     assert [v.rule for v in violations] == ["api"]
 
-
-def test_lint_allows_app_inside_repro_and_waivers(tmp_path):
-    # the package's own internals may reference the shim
-    assert _lint_source(tmp_path, "src/repro/compat.py", """
+    # the shim module is gone, so even package internals are flagged
+    violations = _lint_source(tmp_path, "src/repro/compat.py", """
         from repro.app import run_simulation
+    """)
+    assert [v.rule for v in violations] == ["api"]
+
+
+def test_lint_flags_flat_config_kwargs(tmp_path):
+    violations = _lint_source(tmp_path, "benchmarks/bench_flat.py", """
+        from repro.api import RunConfig
+        cfg = RunConfig(problem=None, batch_launches=True, kernels="slab")
+    """)
+    assert [v.rule for v in violations] == ["api", "api"]
+    assert "batch_launches" in violations[0].message
+    assert "ExecutionPolicy" in violations[0].message
+
+
+def test_lint_flags_flat_scaled_overrides(tmp_path):
+    violations = _lint_source(tmp_path, "examples/scale.py", """
+        from repro.api import scaled
+        big = scaled(cfg, nranks=4, regrid_interval=2)
+    """)
+    assert [v.rule for v in violations] == ["api"]
+    assert "regrid_interval" in violations[0].message
+
+
+def test_lint_allows_policy_shape_and_waivers(tmp_path):
+    assert _lint_source(tmp_path, "benchmarks/bench_ok.py", """
+        from repro.api import ExecutionPolicy, RegridPolicy, RunConfig
+        cfg = RunConfig(problem=None,
+                        execution=ExecutionPolicy(batch=True),
+                        regrid=RegridPolicy(interval=3))
     """) == []
-    # and an explicit waiver silences the rule anywhere
-    assert _lint_source(tmp_path, "scripts/legacy.py", """
-        from repro.app import run_simulation  # samrcheck: ok
+    # an explicit waiver silences the rule (shim tests carry these)
+    assert _lint_source(tmp_path, "tests/test_shims.py", """
+        from repro.api import RunConfig
+        cfg = RunConfig(batch_launches=True)  # samrcheck: ok(api): shim test
     """) == []
 
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.api import RunConfig, run
+from repro.api import ExecutionPolicy, RegridPolicy, RunConfig, run
 from repro.hydro.diagnostics import gather_level_field, host_interior
 from repro.hydro.problems import SodProblem
 
@@ -31,12 +31,11 @@ def _run(use_gpu: bool, use_scheduler: bool = False, overlap: bool = False,
         resident=resident,
         max_levels=2,
         max_patch_size=max_patch,
-        regrid_interval=3,
+        regrid=RegridPolicy(interval=3),
         max_steps=6,
-        use_scheduler=use_scheduler,
-        overlap=overlap,
-        batch_launches=batch,
-        kernels=kernels,
+        execution=ExecutionPolicy(scheduler=use_scheduler, overlap=overlap,
+                                  batch=batch,
+                                  kernels=kernels if kernels else "auto"),
     )
     return run(cfg)
 

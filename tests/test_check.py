@@ -13,7 +13,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.api import RunConfig, build_simulation, run
+from repro.api import ExecutionPolicy, RegridPolicy, RunConfig, \
+    build_simulation, run
 from repro.check import (
     DeclaredAccessError,
     RaceError,
@@ -44,7 +45,7 @@ def _config(**overrides) -> RunConfig:
         nranks=2,
         max_levels=2,
         max_patch_size=12,
-        regrid_interval=3,
+        regrid=RegridPolicy(interval=3),
         max_steps=3,
     )
     base.update(overrides)
@@ -265,7 +266,7 @@ def test_lint_flags_seeded_violations(tmp_path, capsys):
 @pytest.fixture(scope="module")
 def plain_run():
     """Scheduler+overlap run without sanitize: the bit-for-bit baseline."""
-    res = run(_config(use_scheduler=True, overlap=True))
+    res = run(_config(execution=ExecutionPolicy(overlap=True)))
     return res.steps, _fields(res.sim)
 
 
@@ -276,7 +277,7 @@ def test_sanitize_never_changes_field_bits(plain_run, seed):
     every field bit matches the uninstrumented run under any valid
     topological order."""
     steps, want = plain_run
-    cfg = _config(use_scheduler=True, sanitize=True)
+    cfg = _config(execution=ExecutionPolicy(scheduler=True), sanitize=True)
     sim = build_simulation(cfg)
     activate(SanitizeChecker())
     try:
@@ -330,9 +331,9 @@ def test_sanitize_batched_run_is_clean_and_identical():
     sees every access — and observing changes no bits."""
     plain = run(_config())
     want = _fields(plain.sim)
-    for extra in ({}, {"use_scheduler": True}):
-        sane = run(_config(batch_launches=True, sanitize=True,
-                                      **extra))
+    for extra in ({}, {"scheduler": True}):
+        sane = run(_config(execution=ExecutionPolicy(batch=True, **extra),
+                           sanitize=True))
         assert sane.steps == plain.steps
         assert sane.sanitize_counters is not None
         assert sane.sanitize_counters["kernels"] > 0 or \
@@ -373,9 +374,10 @@ def test_sanitize_slab_run_is_clean_and_identical():
     per-patch-replay batched run."""
     from repro.exec.stats import combined_stats
 
-    plain = run(_config(batch_launches=True, kernels="patch"))
+    plain = run(_config(execution=ExecutionPolicy(batch=True, kernels="patch")))
     want = _fields(plain.sim)
-    sane = run(_config(batch_launches=True, kernels="slab", sanitize=True))
+    sane = run(_config(execution=ExecutionPolicy(batch=True, kernels="slab"),
+                       sanitize=True))
     assert sane.steps == plain.steps
     assert sane.sanitize_counters is not None
     assert sane.sanitize_counters["kernels"] > 0
@@ -389,9 +391,9 @@ def test_sanitize_slab_run_is_clean_and_identical():
 
 
 def test_sanitize_end_to_end_run_is_clean_and_identical():
-    plain = run(_config(use_scheduler=True, overlap=True))
-    sane = run(_config(use_scheduler=True, overlap=True,
-                                  sanitize=True))
+    plain = run(_config(execution=ExecutionPolicy(overlap=True)))
+    sane = run(_config(execution=ExecutionPolicy(overlap=True),
+                       sanitize=True))
     assert sane.sanitize_counters is not None
     assert sane.sanitize_counters["tasks"] > 0
     assert sane.sanitize_counters["graphs"] > 0

@@ -17,7 +17,8 @@ import math
 import numpy as np
 import pytest
 
-from repro.api import ObservabilityConfig, RunConfig, run
+from repro.api import (ExecutionPolicy, ObservabilityConfig, RegridPolicy,
+                       RunConfig, run)
 from repro.hydro.diagnostics import gather_level_field
 from repro.hydro.problems import SodProblem
 from repro.obs import (
@@ -40,16 +41,17 @@ FIELDS = ("density0", "energy0", "pressure", "xvel0", "yvel0")
 
 #: backend x execution-shape matrix for the parity guarantee
 PARITY_CASES = [
-    ("host-overlap", dict(use_gpu=False, use_scheduler=True, overlap=True)),
-    ("host-batch", dict(use_gpu=False, batch_launches=True)),
+    ("host-overlap", dict(use_gpu=False,
+                          execution=ExecutionPolicy(overlap=True))),
+    ("host-batch", dict(use_gpu=False, execution=ExecutionPolicy(batch=True))),
     ("resident-overlap", dict(use_gpu=True, resident=True,
-                              use_scheduler=True, overlap=True)),
+                              execution=ExecutionPolicy(overlap=True))),
     ("resident-batch", dict(use_gpu=True, resident=True,
-                            batch_launches=True)),
+                            execution=ExecutionPolicy(batch=True))),
     ("nonresident-overlap", dict(use_gpu=True, resident=False,
-                                 use_scheduler=True, overlap=True)),
+                                 execution=ExecutionPolicy(overlap=True))),
     ("nonresident-batch", dict(use_gpu=True, resident=False,
-                               batch_launches=True)),
+                               execution=ExecutionPolicy(batch=True))),
 ]
 
 
@@ -59,7 +61,7 @@ def _config(trace: bool, **kwargs) -> RunConfig:
         nranks=2,
         max_levels=2,
         max_patch_size=16,
-        regrid_interval=3,
+        regrid=RegridPolicy(interval=3),
         max_steps=5,
         observability=ObservabilityConfig(trace=trace),
         **kwargs,
@@ -126,9 +128,9 @@ def trace_file(tmp_path_factory):
         max_levels=2,
         max_patch_size=16,
         max_steps=5,
-        use_scheduler=True,
-        overlap=True,
-        batch_launches=True,
+        # mode="auto" so the tuner's probes land tune-category spans in
+        # the same file the run's kernel/transfer/comm spans go to
+        execution=ExecutionPolicy(mode="auto", overlap=True, batch=True),
         observability=ObservabilityConfig(trace_path=str(path)),
     ))
     return res, path

@@ -13,7 +13,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.api import RunConfig, RunSession, run
+from repro.api import ExecutionPolicy, RegridPolicy, RunConfig, \
+    RunSession, run
 from repro.hydro.diagnostics import gather_level_field
 from repro.hydro.problems import SodProblem, TriplePointProblem
 
@@ -34,7 +35,7 @@ DRIVERS = [
 
 
 def _cfg(problem, *, incremental, use_gpu=False, resident=True,
-         batch=False, kernels="patch", **overrides):
+         batch=False, kernels="patch", regrid_interval=2, **overrides):
     kwargs = dict(
         problem=problem,
         nranks=2,
@@ -42,11 +43,10 @@ def _cfg(problem, *, incremental, use_gpu=False, resident=True,
         resident=resident,
         max_levels=2,
         max_patch_size=16,
-        regrid_interval=2,
+        regrid=RegridPolicy(interval=regrid_interval,
+                            incremental=incremental),
         max_steps=6,
-        regrid_incremental=incremental,
-        batch_launches=batch,
-        kernels=kernels,
+        execution=ExecutionPolicy(batch=batch, kernels=kernels),
     )
     kwargs.update(overrides)
     return RunConfig(**kwargs)
@@ -57,7 +57,8 @@ _CACHE: dict = {}
 
 def _cached_run(cfg):
     key = (type(cfg.problem).__name__, cfg.use_gpu, cfg.resident,
-           cfg.batch_launches, cfg.kernels, cfg.regrid_incremental)
+           cfg.execution.batch, cfg.execution.kernels,
+           cfg.regrid.incremental)
     if key not in _CACHE:
         _CACHE[key] = run(cfg)
     return _CACHE[key]

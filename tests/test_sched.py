@@ -15,7 +15,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.api import RunConfig, build_simulation, run
+from repro.api import ExecutionPolicy, RegridPolicy, RunConfig, \
+    build_simulation, run
 from repro.exec.stats import ExecStats, combined_stats
 from repro.gpu.device import K20X, Device
 from repro.gpu.stream import Event
@@ -34,7 +35,7 @@ def _config(**overrides) -> RunConfig:
         nranks=2,
         max_levels=2,
         max_patch_size=12,
-        regrid_interval=3,
+        regrid=RegridPolicy(interval=3),
         max_steps=3,
     )
     base.update(overrides)
@@ -65,7 +66,7 @@ def test_any_topological_order_is_bitwise_identical(serial_run, seed):
     """Random tie-break priorities explore different valid topological
     orders; every one of them must reproduce the serial fields exactly."""
     steps, want = serial_run
-    cfg = _config(use_scheduler=True)
+    cfg = _config(execution=ExecutionPolicy(scheduler=True))
     sim = build_simulation(cfg)
     sim.initialise()
     sim._step_scheduler = StepScheduler(
@@ -82,7 +83,7 @@ def test_any_topological_order_is_bitwise_identical(serial_run, seed):
 
 def test_overlap_mode_is_bitwise_identical(serial_run):
     steps, want = serial_run
-    res = run(_config(overlap=True))
+    res = run(_config(execution=ExecutionPolicy(overlap=True)))
     assert res.steps == steps
     got = _fields(res.sim)
     for key in want:
@@ -94,7 +95,7 @@ def test_overlap_mode_is_bitwise_identical(serial_run):
 
 def test_overlap_accounting_is_sane(serial_run):
     steps, _ = serial_run
-    res = run(_config(overlap=True))
+    res = run(_config(execution=ExecutionPolicy(overlap=True)))
     stats = combined_stats(r.exec_stats for r in res.sim.comm.ranks)
     o = stats.overlap
     assert o.async_seconds > 0.0

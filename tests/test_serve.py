@@ -8,7 +8,8 @@ fields and dt history to an uninterrupted twin, on every backend.
 import numpy as np
 import pytest
 
-from repro.api import RunConfig, RunSession, SodProblem, fingerprint, run
+from repro.api import (ExecutionPolicy, RunConfig, RunSession, SodProblem,
+                       fingerprint, run)
 from repro.serve import (
     DevicePool,
     JobQueue,
@@ -298,7 +299,7 @@ BACKENDS = {
     "resident": dict(use_gpu=True, resident=True),
     "nonresident": dict(use_gpu=True, resident=False),
     "resident-batch": dict(use_gpu=True, resident=True,
-                           batch_launches=True),
+                           execution=ExecutionPolicy(batch=True)),
 }
 
 

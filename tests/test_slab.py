@@ -22,7 +22,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.api import RunConfig, run
+from repro.api import ExecutionPolicy, RegridPolicy, RunConfig, run
 from repro.exec.backend import UNCHARGED_HOST
 from repro.exec.batch import SLAB_FALLBACK, BatchMember, SlabSpec
 from repro.exec.stats import combined_stats
@@ -241,16 +241,16 @@ def test_slab_plan_mixed_roles_fall_back():
 # -- end-to-end: ragged fallback stays bitwise ---------------------------------
 
 
-def _cfg(**overrides):
+def _cfg(batch=True, kernels="auto", **overrides):
     base = dict(
         problem=SodProblem((24, 24)),
         nranks=1,
         use_gpu=False,
         max_levels=2,
         max_patch_size=10,   # 24/10 -> ragged refined level (9x9 + 9x10)
-        regrid_interval=3,
+        regrid=RegridPolicy(interval=3),
         max_steps=4,
-        batch_launches=True,
+        execution=ExecutionPolicy(batch=batch, kernels=kernels),
     )
     base.update(overrides)
     return RunConfig(**base)
@@ -304,10 +304,10 @@ def test_slab_counters_surface_in_metrics_manifest(ragged_runs):
 
 
 def test_slab_requires_batch_launches():
-    with pytest.raises(ValueError, match="batch_launches"):
-        run(_cfg(batch_launches=False, kernels="slab"))
+    with pytest.raises(ValueError, match="requires batch=True"):
+        run(_cfg(batch=False, kernels="slab"))
 
 
 def test_kernels_defaults_to_slab_under_batch():
     assert _cfg().simulation_config().kernels == "slab"
-    assert _cfg(batch_launches=False).simulation_config().kernels == "patch"
+    assert _cfg(batch=False).simulation_config().kernels == "patch"

@@ -1,0 +1,214 @@
+"""The auto-tuner (``repro.tune``) and the single policy resolver.
+
+The contract under test: ``resolve_policies`` is the *only* place the
+``"auto"`` literals become concrete values (the old triplicated
+``kernels=None -> "slab" if batch else "patch"`` rule lives here now),
+and ``ExecutionPolicy(mode="auto")`` drives probe measurement that (a)
+picks the paper's fast path on the many-small-patch configuration the
+ablation benchmarks use, (b) never changes the physics, and (c) records
+every decision in the manifest and the full config fingerprint.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    AUTO,
+    ExecutionPolicy,
+    PolicyError,
+    RegridPolicy,
+    RunConfig,
+    fingerprint,
+    resolve_config,
+    resolve_policies,
+    run,
+)
+from repro.hydro.problems import SodProblem
+from repro.tune import needs_tuning
+from repro.tune.tuner import tune_policies
+
+# -- resolve_policies: the one auto-resolution seam ---------------------------
+
+
+def test_fixed_mode_resolves_autos_conservatively():
+    ep, rp = resolve_policies(ExecutionPolicy(), RegridPolicy())
+    assert (ep.scheduler, ep.overlap, ep.batch) == (False, False, False)
+    assert ep.kernels == "patch"
+    assert rp.incremental is False
+    assert ep.mode == "fixed"
+
+
+def test_kernels_auto_derives_from_batch():
+    ep, _ = resolve_policies(ExecutionPolicy(batch=True), RegridPolicy())
+    assert ep.kernels == "slab"
+    ep, _ = resolve_policies(ExecutionPolicy(batch=False), RegridPolicy())
+    assert ep.kernels == "patch"
+
+
+def test_slab_without_batch_is_rejected():
+    with pytest.raises(ValueError, match="requires batch=True"):
+        resolve_policies(ExecutionPolicy(batch=False, kernels="slab"),
+                         RegridPolicy())
+
+
+def test_overlap_forces_scheduler():
+    ep, _ = resolve_policies(ExecutionPolicy(overlap=True), RegridPolicy())
+    assert ep.scheduler is True
+
+
+def test_auto_mode_without_decisions_raises():
+    with pytest.raises(PolicyError, match="auto"):
+        resolve_policies(ExecutionPolicy(mode="auto"), RegridPolicy())
+
+
+def test_auto_mode_takes_decisions():
+    ep, rp = resolve_policies(
+        ExecutionPolicy(mode="auto"), RegridPolicy(),
+        decisions={"scheduler": False, "overlap": False, "batch": True,
+                   "kernels": "slab", "incremental": True})
+    assert (ep.batch, ep.kernels, rp.incremental) == (True, "slab", True)
+
+
+def test_needs_tuning():
+    assert needs_tuning(ExecutionPolicy(mode="auto"), RegridPolicy())
+    assert not needs_tuning(ExecutionPolicy(), RegridPolicy())
+
+
+# -- the tuner on the ablation configuration ----------------------------------
+
+#: the many-small-patch Sod setup bench_ablation_batch sweeps: 8^2
+#: patches of a 48^2 domain -> launch overhead dominates, so the tuner
+#: must find the batched/slab fast path
+def _ablation_cfg(**kwargs):
+    base = dict(
+        problem=SodProblem((48, 48)),
+        machine="IPA",
+        nranks=1,
+        use_gpu=True,
+        max_levels=2,
+        max_patch_size=8,
+        max_steps=8,
+        execution=ExecutionPolicy(mode="auto"),
+    )
+    base.update(kwargs)
+    return RunConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def auto_run():
+    return run(_ablation_cfg())
+
+
+@pytest.fixture(scope="module")
+def hand_run(auto_run):
+    """The hand-flagged twin of whatever the tuner chose."""
+    chosen = auto_run.policies["tuned"]["chosen"]
+    return run(_ablation_cfg(
+        execution=ExecutionPolicy(
+            scheduler=chosen["scheduler"], overlap=chosen["overlap"],
+            batch=chosen["batch"], kernels=chosen["kernels"]),
+        regrid=RegridPolicy(incremental=chosen["incremental"]),
+    ))
+
+
+def test_tuner_picks_batched_slab_on_small_patches(auto_run):
+    tuned = auto_run.policies["tuned"]
+    assert tuned["winner"] in ("batch+slab", "overlap+batch+slab")
+    assert tuned["chosen"]["batch"] is True
+    assert tuned["chosen"]["kernels"] == "slab"
+    assert auto_run.policies["execution"]["batch"] is True
+    assert auto_run.policies["execution"]["kernels"] == "slab"
+
+
+def test_tuned_grind_within_ten_percent_of_hand_flagged(auto_run, hand_run):
+    assert auto_run.grind_time <= hand_run.grind_time * 1.10
+
+
+def test_tuned_run_is_bitwise_identical_to_hand_flagged(auto_run, hand_run):
+    assert auto_run.dt_history == hand_run.dt_history
+    assert auto_run.final_fields == hand_run.final_fields
+
+
+def test_probe_evidence_recorded_in_manifest(auto_run):
+    tuned = auto_run.policies["tuned"]
+    assert tuned["probe_steps"] >= 1
+    labels = [p["label"] for p in tuned["probes"]]
+    assert "serial" in labels and "batch+slab" in labels
+    for probe in tuned["probes"]:
+        assert probe["grind"] > 0.0
+        assert "slab_fallback_rate" in probe["signals"]
+
+
+def test_manifest_schema_carries_policies(auto_run):
+    assert auto_run.metrics["schema"] == "repro.metrics/2"
+    assert set(auto_run.policies) == {"execution", "regrid", "tuned"}
+
+
+def test_tuned_decisions_enter_the_full_fingerprint(auto_run):
+    auto_cfg = resolve_config(_ablation_cfg())
+    hand_cfg = _ablation_cfg(
+        execution=ExecutionPolicy(
+            **{k: v for k, v in auto_cfg.tuned.chosen.items()
+               if k != "incremental"}),
+        regrid=RegridPolicy(incremental=auto_cfg.tuned.chosen["incremental"]))
+    assert fingerprint(auto_cfg, full=True) == fingerprint(hand_cfg, full=True)
+    serial = _ablation_cfg(execution=ExecutionPolicy(mode="fixed"))
+    assert fingerprint(auto_cfg, full=True) != fingerprint(serial, full=True)
+
+
+def test_full_fingerprint_refuses_unresolved_auto():
+    with pytest.raises(PolicyError, match="auto"):
+        fingerprint(_ablation_cfg(), full=True)
+    # init-scope fingerprints never depend on execution policy
+    assert fingerprint(_ablation_cfg())
+
+
+def test_resolve_config_is_idempotent():
+    cfg = resolve_config(_ablation_cfg())
+    assert cfg.tuned is not None
+    again = resolve_config(cfg)
+    assert again is cfg
+
+
+# -- pinned fields and probe mechanics ----------------------------------------
+
+
+def test_pinned_fields_are_never_overridden():
+    ep, rp, decisions = tune_policies(_ablation_cfg(
+        execution=ExecutionPolicy(mode="auto", batch=False)))
+    assert ep.batch is False
+    assert ep.kernels == "patch"  # slab candidates contradict the pin
+    assert all(p.execution.batch is False for p in decisions.probes)
+
+
+def test_fully_pinned_auto_skips_probing():
+    ep, rp, decisions = tune_policies(_ablation_cfg(
+        execution=ExecutionPolicy(mode="auto", scheduler=False,
+                                  overlap=False, batch=True, kernels="slab"),
+        regrid=RegridPolicy(incremental=True)))
+    assert decisions.winner == "pinned"
+    assert decisions.probes == []
+    assert (ep.batch, ep.kernels, rp.incremental) == (True, "slab", True)
+
+
+def test_probe_steps_clamped_to_budget():
+    _, _, decisions = tune_policies(_ablation_cfg(max_steps=2))
+    assert decisions.probe_steps == 2
+
+
+def test_tune_spans_emitted_when_tracing():
+    from repro.api import ObservabilityConfig
+
+    res = run(_ablation_cfg(
+        max_steps=4,
+        observability=ObservabilityConfig(trace=True)))
+    tune_spans = [s for s in res.trace_spans if s.category == "tune"]
+    names = {s.name for s in tune_spans}
+    assert any(n.startswith("tune.probe:") for n in names)
+    assert "tune.decision" in names
+
+
+def test_tuner_never_touches_the_real_run_budget(auto_run):
+    assert auto_run.steps == 8
+    assert len(auto_run.dt_history) == 8
